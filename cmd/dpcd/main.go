@@ -1,0 +1,41 @@
+// Command dpcd runs the Dynamic Proxy Cache as a standalone reverse
+// proxy in front of an origind instance.
+//
+//	dpcd -addr :9090 -origin http://127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"dpcache/internal/dpc"
+	"dpcache/internal/tmpl"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "listen address")
+	originURL := flag.String("origin", "http://127.0.0.1:8080", "origin base URL")
+	capacity := flag.Int("capacity", 4096, "fragment slot capacity (match origin's BEM)")
+	codecName := flag.String("codec", "binary", "template codec: binary or text")
+	strict := flag.Bool("strict", true, "generation-checked assembly with bypass recovery")
+	flag.Parse()
+
+	codec, err := tmpl.ByName(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proxy, err := dpc.New(dpc.Config{
+		OriginURL: *originURL,
+		Capacity:  *capacity,
+		Codec:     codec,
+		Strict:    *strict,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dpcd: proxying %s on %s (capacity %d, %s codec, strict=%v)\n",
+		*originURL, *addr, *capacity, codec.Name(), *strict)
+	log.Fatal(http.ListenAndServe(*addr, proxy))
+}

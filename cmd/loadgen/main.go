@@ -1,0 +1,63 @@
+// Command loadgen drives Zipf-distributed load against a front end (dpcd
+// or origind) and reports throughput, latency, and transfer volume — the
+// WebLoad stand-in.
+//
+//	loadgen -url http://127.0.0.1:9090 -n 1000 -c 8 -path /page/synth -pages 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dpcache/internal/workload"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:9090", "front-end base URL")
+	n := flag.Int("n", 1000, "total requests")
+	c := flag.Int("c", 8, "concurrent clients")
+	path := flag.String("path", "/page/synth", "page path (gets ?page=<rank> appended)")
+	pages := flag.Int("pages", 10, "distinct pages")
+	alpha := flag.Float64("alpha", 1.0, "Zipf exponent")
+	users := flag.Int("users", 0, "registered-user pool size")
+	regFrac := flag.Float64("regfrac", 0, "fraction of requests carrying a user")
+	seed := flag.Int64("seed", 1, "workload seed")
+	rate := flag.Float64("rate", 0, "open-loop Poisson arrival rate (req/s); 0 = closed loop")
+	flag.Parse()
+
+	z, err := workload.NewZipf(*pages, *alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := workload.NewUserPool(*users, *regFrac)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := &workload.Driver{
+		BaseURL:     *url,
+		Gen:         workload.PageGenerator(z, pool, *path),
+		Concurrency: *c,
+		Seed:        *seed,
+	}
+	var res workload.Result
+	if *rate > 0 {
+		p, perr := workload.NewPoisson(*rate)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		res, err = d.RunTrace(p.Trace(rng, *n))
+	} else {
+		res, err = d.Run(*n)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("requests:   %d (%d errors)\n", res.Requests, res.Errors)
+	fmt.Printf("elapsed:    %v (%.0f req/s)\n", res.Elapsed.Round(1e6), res.Throughput())
+	fmt.Printf("body bytes: %d (%.0f per response)\n", res.BodyBytes, float64(res.BodyBytes)/float64(res.Requests))
+	fmt.Printf("latency:    mean %v  p50 %v  p99 %v  max %v\n",
+		res.Latency.Mean(), res.Latency.Quantile(0.5), res.Latency.Quantile(0.99), res.Latency.Max())
+}

@@ -1,0 +1,85 @@
+// Command origind runs the origin application server: content repository,
+// dynamic scripts, and (in cached mode) the Back End Monitor. Pair it with
+// dpcd as the reverse proxy and loadgen as the client.
+//
+//	origind -addr :8080 -sites bookstore,brokerage,portal,synth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"dpcache/internal/bem"
+	"dpcache/internal/origin"
+	"dpcache/internal/repository"
+	"dpcache/internal/site"
+	"dpcache/internal/tmpl"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	sites := flag.String("sites", "bookstore,brokerage,portal,synth", "sites to serve")
+	mode := flag.String("mode", "cached", "cached (BEM templates) or plain (full pages)")
+	capacity := flag.Int("capacity", 4096, "BEM fragment capacity")
+	codecName := flag.String("codec", "binary", "template codec: binary or text")
+	headerPad := flag.Int("headerpad", 0, "extra response-header padding bytes")
+	flag.Parse()
+
+	codec, err := tmpl.ByName(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repo := repository.New(repository.LatencyModel{})
+	var mon *bem.Monitor
+	if *mode == "cached" {
+		mon, err = bem.New(bem.Config{Capacity: *capacity})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mon.BindRepo(repo)
+	} else if *mode != "plain" {
+		log.Fatalf("origind: unknown mode %q", *mode)
+	}
+
+	srv, err := origin.New(origin.Config{
+		Repo:             repo,
+		Monitor:          mon,
+		Codec:            codec,
+		ExtraHeaderBytes: *headerPad,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range strings.Split(*sites, ",") {
+		switch strings.TrimSpace(name) {
+		case "bookstore":
+			err = srv.Register(site.BuildBookstore(repo))
+		case "brokerage":
+			err = srv.Register(site.BuildBrokerage(repo))
+		case "portal":
+			p, perr := site.BuildPortal(site.DefaultPortal(), repo)
+			if perr != nil {
+				log.Fatal(perr)
+			}
+			err = srv.Register(p)
+		case "synth":
+			sc, _, serr := site.BuildSynthetic(site.DefaultSynthetic(), repo)
+			if serr != nil {
+				log.Fatal(serr)
+			}
+			err = srv.Register(sc)
+		case "":
+		default:
+			log.Fatalf("origind: unknown site %q", name)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("origind: serving %v in %s mode on %s\n", srv.Scripts(), *mode, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,297 @@
+// Package analytical implements the closed-form bandwidth model of the
+// paper's Section 5.
+//
+// The model compares the expected bytes served by the origin over an
+// observation window in two configurations:
+//
+//	no cache:  S_NC(c_i) = Σ_{e_j ∈ c_i} s_{e_j} + f
+//	DPC:       S_C(c_i)  = Σ_{e_j ∈ c_i} [ X_j·(h·g + (1−h)·(s_{e_j}+2g)) + (1−X_j)·s_{e_j} ] + f
+//
+// where h is the hit ratio, g the tag size, f the header size, and X_j the
+// design-time cacheability indicator. Total bytes B = Σ_i S(c_i)·n_i(t)
+// with page popularity n_i(t) Zipfian (the paper cites [2, 12]).
+//
+// The scan-cost comparison (Result 1) charges the firewall y per byte in
+// both configurations and the DPC an additional z ≈ y per byte in the
+// cached configuration, giving scanCost_NC = B_NC·y versus
+// scanCost_C = B_C·2y — so the DPC wins on total scan cost exactly when
+// B_NC > 2·B_C.
+package analytical
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params mirrors Table 2 of the paper (baseline parameter settings).
+type Params struct {
+	// HitRatio is h, the fraction of cacheable-fragment lookups served
+	// from cache.
+	HitRatio float64
+	// FragmentBytes is s_e, the average fragment size in bytes.
+	FragmentBytes float64
+	// FragmentsPerPage is the number of fragments composing each page.
+	FragmentsPerPage int
+	// Pages is the number of distinct pages |C|.
+	Pages int
+	// HeaderBytes is f, per-response header information.
+	HeaderBytes float64
+	// TagBytes is g, the average template tag size.
+	TagBytes float64
+	// Cacheability is the fraction of fragments that are cacheable
+	// (E[X_j]).
+	Cacheability float64
+	// Requests is R, the number of requests in the observation window.
+	Requests float64
+	// ZipfExponent shapes page popularity P(i) ∝ 1/i^α. It does not
+	// change the byte totals when all pages have equal composition (the
+	// baseline), but the general Model below uses it.
+	ZipfExponent float64
+}
+
+// Baseline returns Table 2's settings: h=0.8, s_e=1KB, 4 fragments/page,
+// 10 pages, f=500B, g=10B, cacheability 0.6, R=1M, Zipf α=1.
+func Baseline() Params {
+	return Params{
+		HitRatio:         0.8,
+		FragmentBytes:    1024,
+		FragmentsPerPage: 4,
+		Pages:            10,
+		HeaderBytes:      500,
+		TagBytes:         10,
+		Cacheability:     0.6,
+		Requests:         1e6,
+		ZipfExponent:     1,
+	}
+}
+
+// Validate reports obviously nonsensical parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.HitRatio < 0 || p.HitRatio > 1:
+		return fmt.Errorf("analytical: hit ratio %v outside [0,1]", p.HitRatio)
+	case p.Cacheability < 0 || p.Cacheability > 1:
+		return fmt.Errorf("analytical: cacheability %v outside [0,1]", p.Cacheability)
+	case p.FragmentsPerPage <= 0:
+		return fmt.Errorf("analytical: fragments per page must be positive")
+	case p.Pages <= 0:
+		return fmt.Errorf("analytical: pages must be positive")
+	case p.FragmentBytes < 0 || p.HeaderBytes < 0 || p.TagBytes < 0:
+		return fmt.Errorf("analytical: negative sizes")
+	case p.Requests < 0:
+		return fmt.Errorf("analytical: negative request count")
+	}
+	return nil
+}
+
+// ResponseSizeNoCache returns S_NC for one page: all fragments plus the
+// header.
+func (p Params) ResponseSizeNoCache() float64 {
+	return float64(p.FragmentsPerPage)*p.FragmentBytes + p.HeaderBytes
+}
+
+// ResponseSizeCached returns S_C for one page: each cacheable fragment
+// costs a GET tag on a hit (h·g) or its content bracketed in SET tags on a
+// miss ((1−h)·(s_e+2g)); non-cacheable fragments always ship whole.
+func (p Params) ResponseSizeCached() float64 {
+	perCacheable := p.HitRatio*p.TagBytes + (1-p.HitRatio)*(p.FragmentBytes+2*p.TagBytes)
+	perFragment := p.Cacheability*perCacheable + (1-p.Cacheability)*p.FragmentBytes
+	return float64(p.FragmentsPerPage)*perFragment + p.HeaderBytes
+}
+
+// BytesNoCache returns B_NC over the window.
+func (p Params) BytesNoCache() float64 { return p.ResponseSizeNoCache() * p.Requests }
+
+// BytesCached returns B_C over the window.
+func (p Params) BytesCached() float64 { return p.ResponseSizeCached() * p.Requests }
+
+// Ratio returns B_C/B_NC, the y-axis of Figures 2(a) and 3(b).
+func (p Params) Ratio() float64 {
+	return p.ResponseSizeCached() / p.ResponseSizeNoCache()
+}
+
+// SavingsPercent returns (1 − B_C/B_NC)·100, the y-axis of Figures 2(b)
+// and 5. Negative values mean the tags cost more than caching saves.
+func (p Params) SavingsPercent() float64 { return (1 - p.Ratio()) * 100 }
+
+// ScanCostNoCache returns B_NC·y: only the firewall scans.
+func (p Params) ScanCostNoCache(y float64) float64 { return p.BytesNoCache() * y }
+
+// ScanCostCached returns B_C·2y: firewall plus DPC tag scan, with z ≈ y
+// per the paper's KMP linearity argument.
+func (p Params) ScanCostCached(y float64) float64 { return p.BytesCached() * 2 * y }
+
+// FirewallSavingsPercent returns the scan-cost savings
+// (1 − 2·B_C/B_NC)·100, the lower curve of Figure 3(a).
+func (p Params) FirewallSavingsPercent() float64 { return (1 - 2*p.Ratio()) * 100 }
+
+// PreferCache implements Result 1: the DPC wins on scan cost iff
+// B_NC > 2·B_C.
+func (p Params) PreferCache() bool { return p.BytesNoCache() > 2*p.BytesCached() }
+
+// BreakEvenHitRatio returns the h at which B_C = B_NC (the zero crossing
+// of Figure 2(b)), or NaN when no crossing exists in [0,1].
+func (p Params) BreakEvenHitRatio() float64 {
+	// Solve c·(h·g + (1−h)(s+2g)) + (1−c)·s = s for h:
+	// h = 2g / (s + 2g − g) = 2g / (s + g)   … independent of c (c>0).
+	if p.Cacheability == 0 || p.FragmentBytes+p.TagBytes == 0 {
+		return math.NaN()
+	}
+	h := 2 * p.TagBytes / (p.FragmentBytes + p.TagBytes)
+	if h < 0 || h > 1 {
+		return math.NaN()
+	}
+	return h
+}
+
+// Point is one sample of a sweep.
+type Point struct{ X, Y float64 }
+
+// SweepFragmentSize reproduces Figure 2(a): B_C/B_NC as s_e varies over
+// [from, to] in the given step (bytes).
+func SweepFragmentSize(p Params, from, to, step float64) []Point {
+	var out []Point
+	for s := from; s <= to+1e-9; s += step {
+		q := p
+		q.FragmentBytes = s
+		out = append(out, Point{X: s, Y: q.Ratio()})
+	}
+	return out
+}
+
+// SweepHitRatio reproduces Figure 2(b): savings percent as h varies.
+func SweepHitRatio(p Params, from, to, step float64) []Point {
+	var out []Point
+	for h := from; h <= to+1e-9; h += step {
+		q := p
+		q.HitRatio = h
+		out = append(out, Point{X: h, Y: q.SavingsPercent()})
+	}
+	return out
+}
+
+// SweepCacheability reproduces Figure 3(a): network savings and firewall
+// (scan-cost) savings as the cacheability factor varies.
+func SweepCacheability(p Params, from, to, step float64) (network, firewall []Point) {
+	for c := from; c <= to+1e-9; c += step {
+		q := p
+		q.Cacheability = c
+		network = append(network, Point{X: c * 100, Y: q.SavingsPercent()})
+		firewall = append(firewall, Point{X: c * 100, Y: q.FirewallSavingsPercent()})
+	}
+	return network, firewall
+}
+
+// ZipfWeights returns the normalized page access probabilities P(i) for n
+// pages with exponent alpha (rank 1 is most popular).
+func ZipfWeights(n int, alpha float64) []float64 {
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), alpha)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// Model is the general form of the Section 5 analysis: explicit pages over
+// a shared fragment pool with a many-to-many mapping, heterogeneous
+// fragment sizes, and Zipfian page popularity. The uniform Params collapse
+// to this with identical pages.
+type Model struct {
+	// FragmentBytes[j] is s_{e_j}.
+	FragmentBytes []float64
+	// Cacheable[j] is X_j.
+	Cacheable []bool
+	// Pages[i] lists fragment indices composing page c_i.
+	Pages [][]int
+	// AccessProb[i] is P(i); must sum to 1.
+	AccessProb []float64
+	// HeaderBytes, TagBytes, HitRatio as in Params.
+	HeaderBytes float64
+	TagBytes    float64
+	HitRatio    float64
+}
+
+// FromParams expands uniform parameters into an explicit Model with
+// Zipfian access probabilities and disjoint per-page fragment sets.
+func FromParams(p Params) Model {
+	m := Model{
+		HeaderBytes: p.HeaderBytes,
+		TagBytes:    p.TagBytes,
+		HitRatio:    p.HitRatio,
+		AccessProb:  ZipfWeights(p.Pages, p.ZipfExponent),
+	}
+	total := p.Pages * p.FragmentsPerPage
+	m.FragmentBytes = make([]float64, total)
+	m.Cacheable = make([]bool, total)
+	for j := 0; j < total; j++ {
+		m.FragmentBytes[j] = p.FragmentBytes
+		// Deterministic striping yields exactly the requested fraction
+		// when Cacheability is a multiple of 1/FragmentsPerPage-denominator;
+		// the site package uses the same rule so model and measurement
+		// agree. See site.Cacheable.
+		m.Cacheable[j] = CacheableStripe(j, p.Cacheability)
+	}
+	m.Pages = make([][]int, p.Pages)
+	for i := 0; i < p.Pages; i++ {
+		for k := 0; k < p.FragmentsPerPage; k++ {
+			m.Pages[i] = append(m.Pages[i], i*p.FragmentsPerPage+k)
+		}
+	}
+	return m
+}
+
+// CacheableStripe deterministically marks fragment j cacheable so that the
+// cacheable fraction over any run of 20 consecutive fragments equals c
+// exactly (for c a multiple of 0.05). Both the analytical model and the
+// synthetic site use this rule, keeping the two in exact agreement even
+// for small fragment pools.
+func CacheableStripe(j int, c float64) bool {
+	return c >= 1 || float64(j%20) < c*20-1e-9
+}
+
+// PageSizeNoCache returns S_NC for page i.
+func (m Model) PageSizeNoCache(i int) float64 {
+	s := m.HeaderBytes
+	for _, j := range m.Pages[i] {
+		s += m.FragmentBytes[j]
+	}
+	return s
+}
+
+// PageSizeCached returns expected S_C for page i.
+func (m Model) PageSizeCached(i int) float64 {
+	s := m.HeaderBytes
+	for _, j := range m.Pages[i] {
+		if m.Cacheable[j] {
+			s += m.HitRatio*m.TagBytes + (1-m.HitRatio)*(m.FragmentBytes[j]+2*m.TagBytes)
+		} else {
+			s += m.FragmentBytes[j]
+		}
+	}
+	return s
+}
+
+// ExpectedBytes returns B over the window for either configuration.
+func (m Model) ExpectedBytes(cached bool, requests float64) float64 {
+	var b float64
+	for i := range m.Pages {
+		var s float64
+		if cached {
+			s = m.PageSizeCached(i)
+		} else {
+			s = m.PageSizeNoCache(i)
+		}
+		b += s * m.AccessProb[i] * requests
+	}
+	return b
+}
+
+// Ratio returns B_C/B_NC for the explicit model.
+func (m Model) Ratio() float64 {
+	return m.ExpectedBytes(true, 1) / m.ExpectedBytes(false, 1)
+}

@@ -1,0 +1,272 @@
+package analytical
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBaselineMatchesTable2(t *testing.T) {
+	p := Baseline()
+	if p.HitRatio != 0.8 || p.FragmentBytes != 1024 || p.FragmentsPerPage != 4 ||
+		p.Pages != 10 || p.HeaderBytes != 500 || p.TagBytes != 10 ||
+		p.Cacheability != 0.6 || p.Requests != 1e6 {
+		t.Fatalf("baseline drifted from Table 2: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	bad := []Params{
+		func() Params { p := Baseline(); p.HitRatio = 1.2; return p }(),
+		func() Params { p := Baseline(); p.Cacheability = -0.1; return p }(),
+		func() Params { p := Baseline(); p.FragmentsPerPage = 0; return p }(),
+		func() Params { p := Baseline(); p.Pages = 0; return p }(),
+		func() Params { p := Baseline(); p.FragmentBytes = -1; return p }(),
+		func() Params { p := Baseline(); p.Requests = -5; return p }(),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad params validated: %+v", i, p)
+		}
+	}
+}
+
+// Hand-computed S_NC and S_C at the Table 2 baseline.
+func TestResponseSizesAtBaseline(t *testing.T) {
+	p := Baseline()
+	if got := p.ResponseSizeNoCache(); got != 4*1024+500 {
+		t.Fatalf("S_NC = %v, want 4596", got)
+	}
+	// per cacheable fragment: 0.8·10 + 0.2·(1024+20) = 8 + 208.8 = 216.8
+	// per fragment: 0.6·216.8 + 0.4·1024 = 130.08 + 409.6 = 539.68
+	// page: 4·539.68 + 500 = 2658.72
+	if got := p.ResponseSizeCached(); !almost(got, 2658.72, 0.01) {
+		t.Fatalf("S_C = %v, want 2658.72", got)
+	}
+	if got := p.Ratio(); !almost(got, 2658.72/4596, 1e-9) {
+		t.Fatalf("ratio = %v", got)
+	}
+}
+
+// Figure 2(a) shape: ratio > 1 as fragment size → 0 (tags cost more than
+// they save), steep drop below ~1KB, monotonically decreasing, approaching
+// the asymptote 1 − c·h·(s/(s)) … numerically ≈ c·(1−h) + (1−c) = 0.52.
+func TestFig2aShape(t *testing.T) {
+	p := Baseline()
+	pts := SweepFragmentSize(p, 0, 5120, 64)
+	if pts[0].Y <= 1 {
+		t.Fatalf("ratio at tiny fragments = %v, want > 1 (tag overhead dominates)", pts[0].Y)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y >= pts[i-1].Y {
+			t.Fatalf("ratio not strictly decreasing at s=%v: %v then %v", pts[i].X, pts[i-1].Y, pts[i].Y)
+		}
+	}
+	last := pts[len(pts)-1].Y
+	asymptote := p.Cacheability*(1-p.HitRatio) + (1 - p.Cacheability)
+	if !almost(last, asymptote, 0.03) {
+		t.Fatalf("ratio at 5KB = %v, want near asymptote %v", last, asymptote)
+	}
+}
+
+// Figure 2(b) shape: negative savings at h=0, break-even at small h
+// (paper: ≈1%; exact value 2g/(s+g) ≈ 1.9% at Table 2 settings), then
+// monotone increase to the h=1 maximum.
+func TestFig2bShape(t *testing.T) {
+	p := Baseline()
+	pts := SweepHitRatio(p, 0, 1, 0.01)
+	if pts[0].Y >= 0 {
+		t.Fatalf("savings at h=0 = %v, want negative", pts[0].Y)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y <= pts[i-1].Y {
+			t.Fatalf("savings not increasing at h=%v", pts[i].X)
+		}
+	}
+	be := p.BreakEvenHitRatio()
+	if !almost(be, 2*10/(1024.0+10), 1e-9) {
+		t.Fatalf("break-even h = %v", be)
+	}
+	if be > 0.05 {
+		t.Fatalf("break-even h = %v, paper reports ~1%%", be)
+	}
+	// Verify the crossing is where the formula says.
+	q := p
+	q.HitRatio = be
+	if !almost(q.SavingsPercent(), 0, 1e-6) {
+		t.Fatalf("savings at break-even = %v, want 0", q.SavingsPercent())
+	}
+}
+
+// Figure 3(a) shape: network savings positive over the whole 20–100%
+// cacheability range (paper: "always decrease the bytes served"), >70% at
+// full cacheability; firewall savings negative at low cacheability and
+// crossing zero somewhere in the middle of the range.
+func TestFig3aShape(t *testing.T) {
+	p := Baseline()
+	network, firewall := SweepCacheability(p, 0.2, 1.0, 0.05)
+	for _, pt := range network {
+		if pt.Y <= 0 {
+			t.Fatalf("network savings at c=%v%% = %v, want positive", pt.X, pt.Y)
+		}
+	}
+	if last := network[len(network)-1].Y; last < 70 {
+		t.Fatalf("network savings at c=100%% = %v, want > 70 (paper's >70%% claim)", last)
+	}
+	if firewall[0].Y >= 0 {
+		t.Fatalf("firewall savings at c=20%% = %v, want negative", firewall[0].Y)
+	}
+	if firewall[len(firewall)-1].Y <= 0 {
+		t.Fatalf("firewall savings at c=100%% = %v, want positive", firewall[len(firewall)-1].Y)
+	}
+	// Find the crossover; Result 1 says it is where B_NC = 2·B_C.
+	crossed := false
+	for i := 1; i < len(firewall); i++ {
+		if firewall[i-1].Y < 0 && firewall[i].Y >= 0 {
+			crossed = true
+			c := firewall[i].X / 100
+			q := p
+			q.Cacheability = c
+			if q.BytesNoCache() < 2*q.BytesCached()*0.95 {
+				t.Fatalf("crossover at c=%v does not satisfy Result 1", c)
+			}
+		}
+	}
+	if !crossed {
+		t.Fatal("firewall savings never crossed zero")
+	}
+}
+
+func TestResult1ConsistentWithScanCosts(t *testing.T) {
+	for _, c := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		p := Baseline()
+		p.Cacheability = c
+		y := 3.0 // arbitrary per-byte cost; Result 1 must hold for any y
+		prefer := p.ScanCostCached(y) < p.ScanCostNoCache(y)
+		if prefer != p.PreferCache() {
+			t.Fatalf("c=%v: PreferCache()=%v but scan costs say %v", c, p.PreferCache(), prefer)
+		}
+	}
+}
+
+func TestScanCostsScaleLinearlyInY(t *testing.T) {
+	p := Baseline()
+	if !almost(p.ScanCostNoCache(2), 2*p.ScanCostNoCache(1), 1e-6) {
+		t.Fatal("ScanCostNoCache not linear in y")
+	}
+	if !almost(p.ScanCostCached(2), 2*p.ScanCostCached(1), 1e-6) {
+		t.Fatal("ScanCostCached not linear in y")
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(10, 1)
+	var sum float64
+	for i, v := range w {
+		sum += v
+		if i > 0 && v >= w[i-1] {
+			t.Fatalf("weights not decreasing at rank %d", i+1)
+		}
+	}
+	if !almost(sum, 1, 1e-9) {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	// α=1 over 10 pages: P(1) = 1/H_10 ≈ 0.3414.
+	if !almost(w[0], 0.34141715, 1e-6) {
+		t.Fatalf("P(1) = %v", w[0])
+	}
+}
+
+func TestZipfUniformWhenAlphaZero(t *testing.T) {
+	w := ZipfWeights(4, 0)
+	for _, v := range w {
+		if !almost(v, 0.25, 1e-9) {
+			t.Fatalf("α=0 weights = %v", w)
+		}
+	}
+}
+
+func TestCacheableStripeFractions(t *testing.T) {
+	for _, c := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		n := 0
+		const total = 200 // multiple of 20
+		for j := 0; j < total; j++ {
+			if CacheableStripe(j, c) {
+				n++
+			}
+		}
+		if got := float64(n) / total; !almost(got, c, 1e-9) {
+			t.Fatalf("stripe fraction at c=%v is %v", c, got)
+		}
+	}
+}
+
+// Under uniform page access (α=0) the explicit Model — whose 0/1
+// cacheable assignment is a concrete instantiation of the closed form's
+// fractional expectation — must agree with Params exactly, because the
+// per-page response size is linear in the count of cacheable fragments and
+// the stripe makes the global count exact.
+func TestModelMatchesParamsUnderUniformAccess(t *testing.T) {
+	p := Baseline()
+	p.ZipfExponent = 0
+	m := FromParams(p)
+	if got, want := m.Ratio(), p.Ratio(); !almost(got, want, 1e-9) {
+		t.Fatalf("model ratio %v != params ratio %v", got, want)
+	}
+	if got, want := m.ExpectedBytes(false, p.Requests), p.BytesNoCache(); !almost(got, want, 1) {
+		t.Fatalf("model B_NC %v != params %v", got, want)
+	}
+	if got, want := m.ExpectedBytes(true, p.Requests), p.BytesCached(); !almost(got, want, 1) {
+		t.Fatalf("model B_C %v != params %v", got, want)
+	}
+}
+
+// Under Zipf access the concrete assignment interacts with popularity: the
+// ratio may deviate from the closed form, but must stay within the
+// physically possible band (all-cacheable page vs no-cacheable page).
+func TestModelZipfStaysInBand(t *testing.T) {
+	p := Baseline()
+	m := FromParams(p)
+	lo := func() float64 { q := p; q.Cacheability = 1; return q.Ratio() }()
+	hi := func() float64 { q := p; q.Cacheability = 0; return q.Ratio() }()
+	r := m.Ratio()
+	if r < lo-1e-9 || r > hi+1e-9 {
+		t.Fatalf("Zipf model ratio %v outside band [%v, %v]", r, lo, hi)
+	}
+}
+
+// Heterogeneous model: popular pages dominate B under Zipf.
+func TestModelZipfWeighting(t *testing.T) {
+	m := Model{
+		FragmentBytes: []float64{1000, 10},
+		Cacheable:     []bool{false, false},
+		Pages:         [][]int{{0}, {1}},
+		AccessProb:    []float64{0.9, 0.1},
+		HeaderBytes:   0,
+	}
+	if got := m.ExpectedBytes(false, 1); !almost(got, 0.9*1000+0.1*10, 1e-9) {
+		t.Fatalf("B = %v", got)
+	}
+}
+
+func TestBreakEvenEdgeCases(t *testing.T) {
+	p := Baseline()
+	p.Cacheability = 0
+	if !math.IsNaN(p.BreakEvenHitRatio()) {
+		t.Fatal("break-even defined with zero cacheability")
+	}
+}
+
+// Paper headline: at the baseline operating point with full cacheability,
+// savings exceed 70%.
+func TestHeadlineSavingsClaim(t *testing.T) {
+	p := Baseline()
+	p.Cacheability = 1.0
+	if s := p.SavingsPercent(); s < 70 {
+		t.Fatalf("savings at full cacheability = %v%%, paper claims > 70%%", s)
+	}
+}

@@ -1,0 +1,25 @@
+package analytical_test
+
+import (
+	"fmt"
+
+	"dpcache/internal/analytical"
+)
+
+// Evaluate the Section 5 model at the Table 2 baseline.
+func Example() {
+	p := analytical.Baseline()
+	fmt.Printf("S_NC = %.0f bytes\n", p.ResponseSizeNoCache())
+	fmt.Printf("S_C  = %.2f bytes\n", p.ResponseSizeCached())
+	fmt.Printf("savings = %.1f%%\n", p.SavingsPercent())
+	fmt.Printf("prefer DPC on scan cost (Result 1): %v\n", p.PreferCache())
+
+	p.Cacheability = 1.0
+	fmt.Printf("savings at full cacheability = %.1f%%\n", p.SavingsPercent())
+	// Output:
+	// S_NC = 4596 bytes
+	// S_C  = 2658.72 bytes
+	// savings = 42.2%
+	// prefer DPC on scan cost (Result 1): false
+	// savings at full cacheability = 70.3%
+}

@@ -1,0 +1,66 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowAdvances(t *testing.T) {
+	c := Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestFakeStartsAtGivenTime(t *testing.T) {
+	start := time.Date(2002, 6, 4, 0, 0, 0, 0, time.UTC) // SIGMOD 2002 opening day
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", f.Now(), start)
+	}
+}
+
+func TestFakeAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	f.Advance(90 * time.Second)
+	if got := f.Now(); !got.Equal(time.Unix(90, 0)) {
+		t.Fatalf("after Advance, Now() = %v, want %v", got, time.Unix(90, 0))
+	}
+}
+
+func TestFakeSet(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	target := time.Unix(1e6, 0)
+	f.Set(target)
+	if !f.Now().Equal(target) {
+		t.Fatalf("after Set, Now() = %v, want %v", f.Now(), target)
+	}
+}
+
+func TestFakeZeroValueUsable(t *testing.T) {
+	var f Fake
+	f.Advance(time.Hour)
+	if f.Now().IsZero() {
+		t.Fatal("zero-value Fake did not advance")
+	}
+}
+
+func TestFakeConcurrentAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Advance(time.Second)
+			_ = f.Now()
+		}()
+	}
+	wg.Wait()
+	if got := f.Now(); !got.Equal(time.Unix(50, 0)) {
+		t.Fatalf("after 50 concurrent 1s advances, Now() = %v, want %v", got, time.Unix(50, 0))
+	}
+}

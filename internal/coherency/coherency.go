@@ -1,0 +1,200 @@
+// Package coherency addresses the second open problem of the paper's
+// Section 7: keeping multiple forward-deployed Dynamic Proxy Caches
+// coherent when source-data changes invalidate fragments.
+//
+// The reverse-proxy design needs no invalidation channel at all — the BEM
+// simply stops referencing a slot until a SET reuses it. With several edge
+// caches that silence is no longer enough: a proxy that cached a fragment
+// keeps serving it until its own slot is overwritten, which may never
+// happen if later traffic for the fragment routes elsewhere.
+//
+// The Hub turns the BEM's invalidation stream into a sequenced broadcast.
+// Each event carries a monotonically increasing sequence number; a
+// subscriber that observes a gap (lost event) conservatively flushes its
+// whole store and resynchronizes, trading a burst of misses for guaranteed
+// freshness. Subscribers acknowledge events, and AckedThrough reports the
+// sequence number every subscriber has durably applied — the property the
+// stale-read tests assert on.
+package coherency
+
+import (
+	"sync"
+
+	"dpcache/internal/bem"
+	"dpcache/internal/dpc"
+)
+
+// Event is one broadcast invalidation.
+type Event struct {
+	// Seq is the hub-assigned sequence number, starting at 1.
+	Seq uint64
+	// FragmentID names the invalidated fragment.
+	FragmentID string
+	// Key is the DPC slot the fragment occupied.
+	Key uint32
+	// Gen is the generation that became invalid.
+	Gen uint32
+}
+
+// Subscriber consumes invalidation events. Apply must be idempotent; the
+// hub may redeliver during resync.
+type Subscriber interface {
+	// Apply processes one event and returns the highest sequence number
+	// the subscriber has applied.
+	Apply(ev Event) uint64
+}
+
+// Hub fans the BEM's invalidations out to edge subscribers.
+type Hub struct {
+	mu   sync.Mutex
+	seq  uint64
+	subs []Subscriber
+	acks []uint64
+	log  []Event // retained for resync; bounded by Trim
+	// MaxLog bounds the retained event log (default 4096).
+	MaxLog int
+}
+
+// NewHub returns a hub wired to the monitor's invalidation stream.
+func NewHub(mon *bem.Monitor) *Hub {
+	h := &Hub{MaxLog: 4096}
+	mon.OnInvalidate(func(fragID string, key, gen uint32) {
+		h.Broadcast(fragID, key, gen)
+	})
+	return h
+}
+
+// Subscribe adds a subscriber; events broadcast before subscription are
+// not replayed (the subscriber starts empty, so it holds nothing stale).
+func (h *Hub) Subscribe(s Subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs = append(h.subs, s)
+	h.acks = append(h.acks, h.seq) // nothing older can be stale in it
+}
+
+// Broadcast assigns the next sequence number and delivers the event to
+// every subscriber synchronously.
+func (h *Hub) Broadcast(fragID string, key, gen uint32) Event {
+	h.mu.Lock()
+	h.seq++
+	ev := Event{Seq: h.seq, FragmentID: fragID, Key: key, Gen: gen}
+	h.log = append(h.log, ev)
+	if max := h.MaxLog; max > 0 && len(h.log) > max {
+		h.log = append([]Event(nil), h.log[len(h.log)-max:]...)
+	}
+	subs := append([]Subscriber(nil), h.subs...)
+	h.mu.Unlock()
+
+	for i, s := range subs {
+		acked := s.Apply(ev)
+		h.mu.Lock()
+		if i < len(h.acks) && acked > h.acks[i] {
+			h.acks[i] = acked
+		}
+		h.mu.Unlock()
+	}
+	return ev
+}
+
+// Seq returns the last assigned sequence number.
+func (h *Hub) Seq() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
+}
+
+// AckedThrough returns the highest sequence number acknowledged by every
+// subscriber (0 when there are none yet).
+func (h *Hub) AckedThrough() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.acks) == 0 {
+		return h.seq
+	}
+	min := h.acks[0]
+	for _, a := range h.acks[1:] {
+		if a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// Events returns the retained event log from seq (exclusive) onward; ok is
+// false when the log no longer reaches back that far (subscriber must
+// flush).
+func (h *Hub) Events(after uint64) (evs []Event, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.log) == 0 {
+		return nil, after >= h.seq
+	}
+	oldest := h.log[0].Seq
+	if after+1 < oldest {
+		return nil, false
+	}
+	for _, ev := range h.log {
+		if ev.Seq > after {
+			evs = append(evs, ev)
+		}
+	}
+	return evs, true
+}
+
+// StoreSubscriber applies invalidations to an edge DPC's slot store:
+// the slot is dropped so the next GET misses and triggers the strict-mode
+// refetch. A sequence gap flushes every slot.
+type StoreSubscriber struct {
+	mu      sync.Mutex
+	store   *dpc.Store
+	lastSeq uint64
+	flushes int
+	applied int
+}
+
+// NewStoreSubscriber wraps a store.
+func NewStoreSubscriber(store *dpc.Store) *StoreSubscriber {
+	return &StoreSubscriber{store: store}
+}
+
+// Apply implements Subscriber.
+func (s *StoreSubscriber) Apply(ev Event) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastSeq != 0 && ev.Seq != s.lastSeq+1 && ev.Seq > s.lastSeq {
+		// Gap: events were lost. Flush everything.
+		for k := 0; k < s.store.Capacity(); k++ {
+			s.store.Drop(uint32(k))
+		}
+		s.flushes++
+	}
+	if ev.Seq > s.lastSeq {
+		s.store.Drop(ev.Key)
+		s.lastSeq = ev.Seq
+		s.applied++
+	}
+	return s.lastSeq
+}
+
+// Flushes reports how many full flushes gap detection forced.
+func (s *StoreSubscriber) Flushes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushes
+}
+
+// Applied reports how many events were applied.
+func (s *StoreSubscriber) Applied() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// SeedSeq initializes the subscriber's sequence cursor (used when
+// attaching to a hub mid-stream after an explicit flush).
+func (s *StoreSubscriber) SeedSeq(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastSeq = seq
+}

@@ -1,0 +1,194 @@
+package coherency
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"dpcache/internal/bem"
+	"dpcache/internal/dpc"
+)
+
+func newStore(t *testing.T, capacity int) *dpc.Store {
+	t.Helper()
+	s, err := dpc.NewStore(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBroadcastDropsSlotOnAllSubscribers(t *testing.T) {
+	mon, _ := bem.New(bem.Config{Capacity: 8})
+	hub := NewHub(mon)
+	s1, s2 := newStore(t, 8), newStore(t, 8)
+	_ = s1.Set(3, 1, []byte("frag"))
+	_ = s2.Set(3, 1, []byte("frag"))
+	hub.Subscribe(NewStoreSubscriber(s1))
+	hub.Subscribe(NewStoreSubscriber(s2))
+
+	// Drive a real BEM invalidation: lookup then invalidate.
+	d, _ := mon.Lookup("f", 0)
+	mon.Invalidate("f")
+	if _, ok := s1.Get(d.Key, d.Gen, false); ok {
+		t.Fatal("subscriber 1 still holds dropped slot")
+	}
+	if _, ok := s2.Get(d.Key, d.Gen, false); ok {
+		t.Fatal("subscriber 2 still holds dropped slot")
+	}
+}
+
+func TestSequenceNumbersMonotonic(t *testing.T) {
+	mon, _ := bem.New(bem.Config{Capacity: 4})
+	hub := NewHub(mon)
+	e1 := hub.Broadcast("a", 0, 1)
+	e2 := hub.Broadcast("b", 1, 2)
+	if e2.Seq != e1.Seq+1 {
+		t.Fatalf("seq %d then %d", e1.Seq, e2.Seq)
+	}
+	if hub.Seq() != e2.Seq {
+		t.Fatalf("hub seq = %d", hub.Seq())
+	}
+}
+
+func TestAckedThrough(t *testing.T) {
+	mon, _ := bem.New(bem.Config{Capacity: 4})
+	hub := NewHub(mon)
+	s1 := NewStoreSubscriber(newStore(t, 4))
+	hub.Subscribe(s1)
+	hub.Broadcast("a", 0, 1)
+	hub.Broadcast("b", 1, 2)
+	if got := hub.AckedThrough(); got != 2 {
+		t.Fatalf("AckedThrough = %d, want 2", got)
+	}
+}
+
+func TestGapForcesFlush(t *testing.T) {
+	store := newStore(t, 4)
+	for k := uint32(0); k < 4; k++ {
+		_ = store.Set(k, 1, []byte("x"))
+	}
+	sub := NewStoreSubscriber(store)
+	sub.Apply(Event{Seq: 1, Key: 0})
+	if store.Resident() != 3 {
+		t.Fatalf("resident = %d after seq 1", store.Resident())
+	}
+	// Seq 3 arrives, 2 was lost: everything must flush.
+	sub.Apply(Event{Seq: 3, Key: 1})
+	if store.Resident() != 0 {
+		t.Fatalf("resident = %d after gap, want 0", store.Resident())
+	}
+	if sub.Flushes() != 1 {
+		t.Fatalf("flushes = %d", sub.Flushes())
+	}
+}
+
+func TestDuplicateAndStaleEventsIdempotent(t *testing.T) {
+	store := newStore(t, 4)
+	sub := NewStoreSubscriber(store)
+	sub.Apply(Event{Seq: 1, Key: 0})
+	sub.Apply(Event{Seq: 2, Key: 1})
+	before := sub.Applied()
+	sub.Apply(Event{Seq: 2, Key: 1}) // duplicate
+	sub.Apply(Event{Seq: 1, Key: 0}) // stale
+	if sub.Applied() != before {
+		t.Fatal("duplicate/stale events were applied")
+	}
+	if sub.Flushes() != 0 {
+		t.Fatal("duplicates treated as gaps")
+	}
+}
+
+func TestSeedSeqSuppressesInitialGap(t *testing.T) {
+	store := newStore(t, 4)
+	sub := NewStoreSubscriber(store)
+	sub.SeedSeq(41)
+	sub.Apply(Event{Seq: 42, Key: 0})
+	if sub.Flushes() != 0 {
+		t.Fatal("seeded subscriber flushed on first event")
+	}
+}
+
+func TestEventsLog(t *testing.T) {
+	mon, _ := bem.New(bem.Config{Capacity: 4})
+	hub := NewHub(mon)
+	hub.Broadcast("a", 0, 1)
+	hub.Broadcast("b", 1, 2)
+	hub.Broadcast("c", 2, 3)
+	evs, ok := hub.Events(1)
+	if !ok || len(evs) != 2 || evs[0].Seq != 2 {
+		t.Fatalf("Events(1) = %v, %v", evs, ok)
+	}
+	all, ok := hub.Events(0)
+	if !ok || len(all) != 3 {
+		t.Fatalf("Events(0) = %v, %v", all, ok)
+	}
+}
+
+func TestEventsLogTrimReportsTooOld(t *testing.T) {
+	mon, _ := bem.New(bem.Config{Capacity: 4})
+	hub := NewHub(mon)
+	hub.MaxLog = 2
+	for i := 0; i < 5; i++ {
+		hub.Broadcast("x", uint32(i%4), uint32(i))
+	}
+	if _, ok := hub.Events(0); ok {
+		t.Fatal("trimmed log claimed to reach back to 0")
+	}
+	evs, ok := hub.Events(3)
+	if !ok || len(evs) != 2 {
+		t.Fatalf("Events(3) = %v, %v", evs, ok)
+	}
+}
+
+func TestHTTPBridgeDeliversAndAcks(t *testing.T) {
+	store := newStore(t, 8)
+	_ = store.Set(5, 9, []byte("stale"))
+	edgeSub := NewStoreSubscriber(store)
+	edge := httptest.NewServer(Handler(edgeSub))
+	defer edge.Close()
+
+	mon, _ := bem.New(bem.Config{Capacity: 8})
+	hub := NewHub(mon)
+	remote := &RemoteSubscriber{URL: edge.URL}
+	hub.Subscribe(remote)
+
+	hub.Broadcast("f", 5, 9)
+	if _, ok := store.Get(5, 9, false); ok {
+		t.Fatal("edge store still holds invalidated slot")
+	}
+	if hub.AckedThrough() != 1 {
+		t.Fatalf("AckedThrough = %d", hub.AckedThrough())
+	}
+}
+
+func TestHTTPBridgeToleratesDeadEdge(t *testing.T) {
+	mon, _ := bem.New(bem.Config{Capacity: 8})
+	hub := NewHub(mon)
+	remote := &RemoteSubscriber{URL: "http://127.0.0.1:1/invalidate"}
+	hub.Subscribe(remote)
+	hub.Broadcast("f", 0, 1) // must not panic or block
+	if remote.Errors() != 1 {
+		t.Fatalf("errors = %d", remote.Errors())
+	}
+}
+
+func TestHandlerRejectsBadRequests(t *testing.T) {
+	edge := httptest.NewServer(Handler(NewStoreSubscriber(newStore(t, 2))))
+	defer edge.Close()
+	resp, err := edge.Client().Get(edge.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	resp, err = edge.Client().Post(edge.URL, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("empty POST status = %d", resp.StatusCode)
+	}
+}

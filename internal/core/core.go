@@ -1,0 +1,281 @@
+// Package core assembles the full dynamic proxy caching system of the
+// paper's Figure 4: content repository, origin application server, Back
+// End Monitor, and the Dynamic Proxy Cache fronting it all, with the
+// origin↔DPC link metered the way the Sniffer measured it.
+//
+// A System runs in one of two modes:
+//
+//   - ModeNoCache: the origin serves full pages; the proxy is a pure
+//     pass-through (as ISA Server is for dynamic content when the DPC
+//     filter is off). This is the B_NC configuration.
+//   - ModeCached: the origin runs the BEM and serves templates; the proxy
+//     assembles pages from its fragment store. This is the B_C
+//     configuration.
+//
+// Both modes keep the same component topology and connection patterns, so
+// measured byte differences are attributable to the caching technique, not
+// the plumbing.
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"dpcache/internal/bem"
+	"dpcache/internal/dpc"
+	"dpcache/internal/firewall"
+	"dpcache/internal/metrics"
+	"dpcache/internal/netsim"
+	"dpcache/internal/origin"
+	"dpcache/internal/repository"
+	"dpcache/internal/script"
+	"dpcache/internal/tmpl"
+)
+
+// Mode selects the system configuration under test.
+type Mode int
+
+// System modes.
+const (
+	// ModeNoCache serves full pages through a pass-through proxy.
+	ModeNoCache Mode = iota
+	// ModeCached serves templates assembled by the DPC.
+	ModeCached
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeCached {
+		return "cached"
+	}
+	return "no-cache"
+}
+
+// Config parameterizes a System.
+type Config struct {
+	// Capacity is the fragment-slot count shared by BEM and DPC.
+	// Defaults to 4096.
+	Capacity int
+	// Codec is the template wire format; defaults to binary.
+	Codec tmpl.Codec
+	// Strict enables generation-checked assembly with bypass recovery.
+	Strict bool
+	// ForcedMissProb pins the BEM hit ratio for experiments (Figure 5).
+	ForcedMissProb float64
+	// Seed drives all deterministic randomness.
+	Seed int64
+	// Latency is the repository's simulated query/update delay.
+	Latency repository.LatencyModel
+	// ExtraHeaderBytes pads origin response headers (Table 2's f).
+	ExtraHeaderBytes int
+	// Firewall, when non-nil, scans all origin-link traffic and
+	// accumulates scan-cost accounting (Figure 3(a)).
+	Firewall *firewall.Firewall
+	// Registry receives all component metrics; a fresh one is created
+	// when nil.
+	Registry *metrics.Registry
+}
+
+// System is a fully wired origin + proxy deployment.
+type System struct {
+	Mode Mode
+	// Repo is the content repository; sites are built against it.
+	Repo *repository.Repo
+	// Monitor is the BEM (nil in ModeNoCache).
+	Monitor *bem.Monitor
+	// Origin is the application server.
+	Origin *origin.Server
+	// Proxy is the front end clients talk to.
+	Proxy *dpc.Proxy
+	// Meter measures the origin↔proxy link.
+	Meter *netsim.Meter
+	// Registry aggregates metrics across components.
+	Registry *metrics.Registry
+
+	cfg       Config
+	originLn  net.Listener
+	proxyLn   net.Listener
+	originSrv *http.Server
+	proxySrv  *http.Server
+	edges     []*http.Server
+	started   bool
+}
+
+// Edge is an additional forward-deployed DPC created by StartEdge.
+type Edge struct {
+	// Name identifies the edge (for routers).
+	Name string
+	// Proxy is the edge's Dynamic Proxy Cache.
+	Proxy *dpc.Proxy
+	// URL is the edge's client-facing address.
+	URL string
+}
+
+// NewSystem builds (but does not start) a system. Register scripts, then
+// call Start.
+func NewSystem(cfg Config, mode Mode) (*System, error) {
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 4096
+	}
+	if cfg.Capacity < 0 {
+		return nil, fmt.Errorf("core: negative capacity")
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = tmpl.Binary{}
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	repo := repository.New(cfg.Latency)
+	var mon *bem.Monitor
+	if mode == ModeCached {
+		var err error
+		mon, err = bem.New(bem.Config{
+			Capacity:       cfg.Capacity,
+			ForcedMissProb: cfg.ForcedMissProb,
+			Seed:           cfg.Seed,
+			Registry:       cfg.Registry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mon.BindRepo(repo)
+	}
+	org, err := origin.New(origin.Config{
+		Repo:             repo,
+		Monitor:          mon,
+		Codec:            cfg.Codec,
+		ExtraHeaderBytes: cfg.ExtraHeaderBytes,
+		Registry:         cfg.Registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Mode:     mode,
+		Repo:     repo,
+		Monitor:  mon,
+		Origin:   org,
+		Meter:    netsim.NewMeter(0),
+		Registry: cfg.Registry,
+		cfg:      cfg,
+	}, nil
+}
+
+// Register adds scripts to the origin; call before Start.
+func (s *System) Register(scripts ...*script.Script) error {
+	if s.started {
+		return fmt.Errorf("core: register before Start")
+	}
+	for _, sc := range scripts {
+		if err := s.Origin.Register(sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start opens the metered origin listener and the proxy front end.
+func (s *System) Start() error {
+	if s.started {
+		return fmt.Errorf("core: already started")
+	}
+	originLn, err := netsim.ListenLoopback(s.Meter)
+	if err != nil {
+		return err
+	}
+	if s.cfg.Firewall != nil {
+		originLn = s.cfg.Firewall.Listener(originLn)
+	}
+	s.originLn = originLn
+	s.originSrv = &http.Server{Handler: s.Origin}
+	go func() { _ = s.originSrv.Serve(originLn) }()
+
+	proxy, err := dpc.New(dpc.Config{
+		OriginURL: "http://" + originLn.Addr().String(),
+		Capacity:  s.cfg.Capacity,
+		Codec:     s.cfg.Codec,
+		Strict:    s.cfg.Strict,
+		Registry:  s.Registry,
+	})
+	if err != nil {
+		_ = originLn.Close()
+		return err
+	}
+	s.Proxy = proxy
+	proxyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = originLn.Close()
+		return err
+	}
+	s.proxyLn = proxyLn
+	s.proxySrv = &http.Server{Handler: proxy}
+	go func() { _ = s.proxySrv.Serve(proxyLn) }()
+	s.started = true
+	return nil
+}
+
+// FrontURL is what clients request against (the proxy).
+func (s *System) FrontURL() string {
+	if s.proxyLn == nil {
+		return ""
+	}
+	return "http://" + s.proxyLn.Addr().String()
+}
+
+// OriginURL is the origin's direct address (bypassing the proxy).
+func (s *System) OriginURL() string {
+	if s.originLn == nil {
+		return ""
+	}
+	return "http://" + s.originLn.Addr().String()
+}
+
+// StartEdge launches an additional DPC against this system's origin — a
+// forward-proxy node in the Section 7 deployment. Edge proxies share the
+// BEM's key space; pair them with routing.Router for request routing and
+// coherency.Hub (subscribing each edge's Store) for invalidation
+// propagation. The system must be started first.
+func (s *System) StartEdge(name string) (Edge, error) {
+	if !s.started {
+		return Edge{}, fmt.Errorf("core: start the system before adding edges")
+	}
+	proxy, err := dpc.New(dpc.Config{
+		OriginURL: s.OriginURL(),
+		Capacity:  s.cfg.Capacity,
+		Codec:     s.cfg.Codec,
+		Strict:    s.cfg.Strict,
+		Registry:  s.Registry,
+	})
+	if err != nil {
+		return Edge{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Edge{}, err
+	}
+	srv := &http.Server{Handler: proxy}
+	s.edges = append(s.edges, srv)
+	go func() { _ = srv.Serve(ln) }()
+	return Edge{Name: name, Proxy: proxy, URL: "http://" + ln.Addr().String()}, nil
+}
+
+// Close shuts both servers down.
+func (s *System) Close() error {
+	var first error
+	srvs := append([]*http.Server{s.proxySrv, s.originSrv}, s.edges...)
+	for _, srv := range srvs {
+		if srv != nil {
+			srv.SetKeepAlivesEnabled(false)
+			if err := srv.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	// Give in-flight handlers a beat to unwind before listeners vanish
+	// from under metered accept loops.
+	time.Sleep(time.Millisecond)
+	return first
+}

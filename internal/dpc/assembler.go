@@ -1,0 +1,130 @@
+package dpc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dpcache/internal/tmpl"
+)
+
+// ErrStale reports that one or more GET instructions referenced slots that
+// are empty or (in strict mode) carry a different generation than the
+// template expected. The proxy recovers by re-fetching the page with the
+// bypass header, reporting the stale references so the BEM invalidates
+// them (see AssembleStats.Stale).
+var ErrStale = errors.New("dpc: template references stale or unset slot")
+
+// StaleRef identifies a slot reference that failed during assembly.
+type StaleRef struct {
+	Key uint32
+	Gen uint32
+}
+
+// AssembleStats reports what one assembly consumed and produced.
+type AssembleStats struct {
+	// TemplateBytes is the template stream size — the bytes that crossed
+	// the origin↔DPC link and were scanned for tags (the z·B_C term of
+	// the paper's scan-cost analysis).
+	TemplateBytes int64
+	// PageBytes is the assembled page size delivered to the client.
+	PageBytes int64
+	Gets      int
+	Sets      int
+	Literals  int
+	// Stale lists GET references that could not be satisfied. When
+	// non-empty the page output is unusable and Assemble returns
+	// ErrStale — but the template was still consumed to the end, so
+	// every SET it carried has been applied to the store. (Aborting at
+	// the first bad GET would discard those SETs while the directory
+	// already believes them cached, wedging the fragments into a
+	// permanent fallback loop.)
+	Stale []StaleRef
+}
+
+// Assembler splices fragments into page layouts. It is stateless apart
+// from the store reference and safe for concurrent use.
+type Assembler struct {
+	store  *Store
+	codec  tmpl.Codec
+	strict bool
+}
+
+// NewAssembler returns an assembler reading templates in the given codec.
+func NewAssembler(store *Store, codec tmpl.Codec, strict bool) *Assembler {
+	return &Assembler{store: store, codec: codec, strict: strict}
+}
+
+// countingReader counts template bytes as the decoder consumes them.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Assemble reads a template from r, applies SET instructions to the store,
+// resolves GET instructions from it, and writes the assembled page to w.
+//
+// On stale GETs, assembly keeps consuming the template (so its SETs still
+// land in the store) and returns ErrStale at the end with the failing
+// references in AssembleStats.Stale; callers must discard the page and
+// fall back.
+func (a *Assembler) Assemble(w io.Writer, r io.Reader) (AssembleStats, error) {
+	var st AssembleStats
+	cr := &countingReader{r: r}
+	dec := a.codec.NewDecoder(cr)
+	for {
+		in, err := dec.Next()
+		if err == io.EOF {
+			st.TemplateBytes = cr.n
+			if len(st.Stale) > 0 {
+				first := st.Stale[0]
+				return st, fmt.Errorf("%w (first: key %d gen %d, %d total)",
+					ErrStale, first.Key, first.Gen, len(st.Stale))
+			}
+			return st, nil
+		}
+		if err != nil {
+			st.TemplateBytes = cr.n
+			return st, fmt.Errorf("dpc: decoding template: %w", err)
+		}
+		switch in.Op {
+		case tmpl.OpLiteral:
+			st.Literals++
+			n, err := w.Write(in.Data)
+			st.PageBytes += int64(n)
+			if err != nil {
+				return st, err
+			}
+		case tmpl.OpSet:
+			st.Sets++
+			if err := a.store.Set(in.Key, in.Gen, in.Data); err != nil {
+				return st, err
+			}
+			n, err := w.Write(in.Data)
+			st.PageBytes += int64(n)
+			if err != nil {
+				return st, err
+			}
+		case tmpl.OpGet:
+			st.Gets++
+			data, ok := a.store.Get(in.Key, in.Gen, a.strict)
+			if !ok {
+				st.Stale = append(st.Stale, StaleRef{Key: in.Key, Gen: in.Gen})
+				continue
+			}
+			n, err := w.Write(data)
+			st.PageBytes += int64(n)
+			if err != nil {
+				return st, err
+			}
+		default:
+			return st, fmt.Errorf("dpc: unexpected op %v in template", in.Op)
+		}
+	}
+}

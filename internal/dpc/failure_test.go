@@ -1,0 +1,187 @@
+package dpc
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"dpcache/internal/tmpl"
+)
+
+// Failure injection: the proxy must degrade to clean HTTP errors — never
+// panic, never emit a torn page — when the origin misbehaves.
+
+func proxyFor(t *testing.T, origin *httptest.Server) *httptest.Server {
+	t.Helper()
+	p, err := New(Config{OriginURL: origin.URL, Capacity: 8, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestOriginDownReturns502(t *testing.T) {
+	p, err := New(Config{OriginURL: "http://127.0.0.1:1", Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/page/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestOriginErrorStatusPropagates(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer origin.Close()
+	ts := proxyFor(t, origin)
+	resp, err := http.Get(ts.URL + "/page/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestGarbageTemplateReturns502(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-DPC-Template", "binary")
+		_, _ = w.Write(append(append([]byte{}, tmpl.Magic...), 0xFF)) // unknown op
+	}))
+	defer origin.Close()
+	ts := proxyFor(t, origin)
+	resp, err := http.Get(ts.URL + "/page/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d body=%s", resp.StatusCode, body)
+	}
+}
+
+func TestTruncatedTemplateReturns502(t *testing.T) {
+	// A SET open tag whose content never arrives.
+	var buf []byte
+	buf = append(buf, tmpl.Magic...)
+	buf = append(buf, 'S', 1, 1, 200) // key=1 gen=1 len=200, then EOF
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-DPC-Template", "binary")
+		_, _ = w.Write(buf)
+	}))
+	defer origin.Close()
+	ts := proxyFor(t, origin)
+	resp, err := http.Get(ts.URL + "/page/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+// A flapping origin (alternating failures) must not wedge the proxy: the
+// successes keep succeeding.
+func TestFlappingOrigin(t *testing.T) {
+	var n atomic.Int64
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 0 {
+			http.Error(w, "flap", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "<html>ok</html>")
+	}))
+	defer origin.Close()
+	ts := proxyFor(t, origin)
+	okCount, failCount := 0, 0
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(ts.URL + "/page/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			okCount++
+		} else {
+			failCount++
+		}
+	}
+	if okCount == 0 || failCount == 0 {
+		t.Fatalf("ok=%d fail=%d; expected a mix", okCount, failCount)
+	}
+}
+
+// testing/quick property: arbitrary random byte slices survive a binary
+// literal-encode/decode roundtrip (the escaping path under fuzz-ish
+// input).
+func TestBinaryLiteralRoundTripQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		var wire []byte
+		{
+			var buf writerBuf
+			enc := tmpl.Binary{}.NewEncoder(&buf)
+			if err := enc.Literal(data); err != nil {
+				return false
+			}
+			if err := enc.Flush(); err != nil {
+				return false
+			}
+			wire = buf.b
+		}
+		ins, err := tmpl.DecodeAll(tmpl.Binary{}, &readerBuf{b: wire})
+		if err != nil {
+			return false
+		}
+		var got []byte
+		for _, in := range ins {
+			if in.Op != tmpl.OpLiteral {
+				return false
+			}
+			got = append(got, in.Data...)
+		}
+		return string(got) == string(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+type readerBuf struct {
+	b []byte
+	i int
+}
+
+func (r *readerBuf) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}

@@ -1,0 +1,290 @@
+package dpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dpcache/internal/clock"
+	"dpcache/internal/metrics"
+	"dpcache/internal/tmpl"
+)
+
+// Headers shared with the origin (duplicated here to avoid an import cycle
+// with package origin; the contract is defined in that package's docs).
+const (
+	headerCapable  = "X-DPC-Capable"
+	headerBypass   = "X-DPC-Bypass"
+	headerTemplate = "X-DPC-Template"
+	headerStale    = "X-DPC-Stale"
+)
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// OriginURL is the base URL of the origin site, e.g.
+	// "http://127.0.0.1:8080". Required.
+	OriginURL string
+	// Capacity is the slot count; it must match (or exceed) the BEM's
+	// configured capacity. Required.
+	Capacity int
+	// Codec must match the origin's template codec; defaults to binary.
+	Codec tmpl.Codec
+	// Strict enables generation checking on GETs plus transparent
+	// re-fetch on staleness (design decision 4 in DESIGN.md).
+	Strict bool
+	// Transport overrides the HTTP transport used to reach the origin
+	// (tests inject metered or in-memory transports).
+	Transport http.RoundTripper
+	// Registry receives dpc.* metrics; optional.
+	Registry *metrics.Registry
+	// DisableStaticCache turns off URL-keyed caching of explicitly
+	// cacheable non-template responses (on by default, as in the
+	// paper's ISA-server setup).
+	DisableStaticCache bool
+	// StaticCacheEntries bounds the static cache (0 selects 1024).
+	StaticCacheEntries int
+	// StaticClock overrides the static cache's expiry clock (tests).
+	StaticClock clock.Clock
+}
+
+// Proxy is the Dynamic Proxy Cache in reverse-proxy mode: it fronts the
+// origin, stores fragments, and assembles pages.
+type Proxy struct {
+	cfg    Config
+	store  *Store
+	asm    *Assembler
+	static *StaticCache // nil when disabled
+	client *http.Client
+	reg    *metrics.Registry
+
+	adminOnce sync.Once
+	admin     *http.ServeMux
+}
+
+// New returns a Proxy with an empty store.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.OriginURL == "" {
+		return nil, fmt.Errorf("dpc: OriginURL is required")
+	}
+	store, err := NewStore(cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	codec := cfg.Codec
+	if codec == nil {
+		codec = tmpl.Binary{}
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = &http.Transport{MaxIdleConnsPerHost: 64}
+	}
+	var static *StaticCache
+	if !cfg.DisableStaticCache {
+		static = NewStaticCache(cfg.StaticCacheEntries, cfg.StaticClock)
+	}
+	return &Proxy{
+		cfg:    cfg,
+		store:  store,
+		asm:    NewAssembler(store, codec, cfg.Strict),
+		static: static,
+		client: &http.Client{Transport: transport, Timeout: 30 * time.Second},
+		reg:    reg,
+	}, nil
+}
+
+// Static exposes the URL-keyed static-content cache (nil when disabled).
+func (p *Proxy) Static() *StaticCache { return p.static }
+
+// Store exposes the slot store (the coherency extension drops slots
+// through it).
+func (p *Proxy) Store() *Store { return p.store }
+
+// Registry returns the proxy's metrics registry.
+func (p *Proxy) Registry() *metrics.Registry { return p.reg }
+
+// AdminPrefix routes requests handled by the proxy itself rather than
+// forwarded: /_dpc/stats, plus anything mounted via HandleAdmin (e.g. the
+// coherency invalidation endpoint).
+const AdminPrefix = "/_dpc/"
+
+// HandleAdmin mounts an extra handler under the admin prefix (path must
+// include the prefix, e.g. "/_dpc/invalidate").
+func (p *Proxy) HandleAdmin(path string, h http.Handler) {
+	p.adminOnce.Do(p.initAdmin)
+	p.admin.Handle(path, h)
+}
+
+func (p *Proxy) initAdmin() {
+	p.admin = http.NewServeMux()
+	p.admin.HandleFunc("/_dpc/stats", func(w http.ResponseWriter, _ *http.Request) {
+		out := map[string]any{
+			"metrics":        p.reg.Snapshot(),
+			"slots_resident": p.store.Resident(),
+			"slots_capacity": p.store.Capacity(),
+			"fragment_bytes": p.store.Bytes(),
+		}
+		if p.static != nil {
+			hits, misses := p.static.Stats()
+			out["static"] = map[string]any{"entries": p.static.Len(), "hits": hits, "misses": misses}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+}
+
+// ServeHTTP implements http.Handler: the client-facing side of the proxy.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, AdminPrefix) {
+		p.adminOnce.Do(p.initAdmin)
+		p.admin.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	// Explicitly cacheable static content is served without touching
+	// the origin at all (the paper's steady-state setup: "static
+	// content will be served from the ISA Server proxy cache and
+	// therefore will not impact bandwidth requirements").
+	if p.static != nil {
+		if body, ctype, ok := p.static.Get(r.URL.RequestURI()); ok {
+			p.reg.Counter("dpc.static_hits").Inc()
+			p.writePage(w, body, ctype, "HIT")
+			return
+		}
+	}
+	page, ctype, err := p.fetchAndAssemble(r, nil)
+	if err != nil {
+		var stale *staleness
+		if errors.As(err, &stale) {
+			// Recover with a bypass fetch, reporting the stale slots
+			// so the BEM invalidates them and the next template
+			// carries fresh SETs instead of looping here.
+			p.reg.Counter("dpc.stale_fallbacks").Inc()
+			page, ctype, err = p.fetchAndAssemble(r, stale.refs)
+		}
+	}
+	if err != nil {
+		p.reg.Counter("dpc.errors").Inc()
+		http.Error(w, fmt.Sprintf("dpc: %v", err), http.StatusBadGateway)
+		return
+	}
+	p.reg.Counter("dpc.requests").Inc()
+	p.reg.Histogram("dpc.latency").Observe(time.Since(start))
+	p.writePage(w, page, ctype, "MISS")
+}
+
+func (p *Proxy) writePage(w http.ResponseWriter, body []byte, ctype, cacheState string) {
+	if ctype == "" {
+		ctype = "text/html; charset=utf-8"
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Header().Set("Via", "dpcache-dpc/1.0")
+	w.Header().Set("X-Cache", cacheState)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// staleness wraps ErrStale so ServeHTTP can distinguish recoverable
+// staleness from transport errors, carrying the failed references.
+type staleness struct {
+	err  error
+	refs []StaleRef
+}
+
+func (s *staleness) Error() string { return s.err.Error() }
+func (s *staleness) Unwrap() error { return s.err }
+
+// FormatStaleRefs encodes stale references for the X-DPC-Stale header:
+// "key:gen,key:gen".
+func FormatStaleRefs(refs []StaleRef) string {
+	var b strings.Builder
+	for i, ref := range refs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d", ref.Key, ref.Gen)
+	}
+	return b.String()
+}
+
+// fetchAndAssemble forwards the request to the origin and assembles the
+// result, returning the body and its content type. A non-nil bypassStale
+// forces a plain (non-template) response and reports the stale slots to
+// the BEM.
+func (p *Proxy) fetchAndAssemble(r *http.Request, bypassStale []StaleRef) ([]byte, string, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		p.cfg.OriginURL+r.URL.RequestURI(), nil)
+	if err != nil {
+		return nil, "", err
+	}
+	// Forward the session identity and advertise assembly capability.
+	for _, h := range []string{"X-User", "Cookie", "Accept"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	req.Header.Set(headerCapable, "1")
+	if bypassStale != nil {
+		req.Header.Set(headerBypass, "1")
+		if s := FormatStaleRefs(bypassStale); s != "" {
+			req.Header.Set(headerStale, s)
+		}
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, "", fmt.Errorf("origin fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, "", fmt.Errorf("origin status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	ctype := resp.Header.Get("Content-Type")
+
+	codecName := resp.Header.Get(headerTemplate)
+	if codecName == "" {
+		// Plain response: pass through untouched, caching it by URL
+		// when the origin explicitly allows (static content only —
+		// templates and bypass pages never carry Cache-Control).
+		p.reg.Counter("dpc.plain_passthrough").Inc()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, "", err
+		}
+		if p.static != nil {
+			if ttl := cacheableStatic(resp); ttl > 0 {
+				p.static.Put(r.URL.RequestURI(), body, ctype, ttl)
+			}
+		}
+		return body, ctype, nil
+	}
+	if codecName != p.asm.codec.Name() {
+		return nil, "", fmt.Errorf("origin codec %q does not match proxy codec %q", codecName, p.asm.codec.Name())
+	}
+
+	var page bytes.Buffer
+	stats, err := p.asm.Assemble(&page, resp.Body)
+	p.reg.Counter("dpc.template_bytes").Add(stats.TemplateBytes)
+	p.reg.Counter("dpc.page_bytes").Add(stats.PageBytes)
+	p.reg.Counter("dpc.gets").Add(int64(stats.Gets))
+	p.reg.Counter("dpc.sets").Add(int64(stats.Sets))
+	if err != nil {
+		if errors.Is(err, ErrStale) {
+			return nil, "", &staleness{err: err, refs: stats.Stale}
+		}
+		return nil, "", err
+	}
+	p.reg.Counter("dpc.assembled").Inc()
+	return page.Bytes(), ctype, nil
+}

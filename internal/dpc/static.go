@@ -1,0 +1,151 @@
+package dpc
+
+import (
+	"container/list"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dpcache/internal/clock"
+)
+
+// StaticCache is the conventional URL-keyed cache the DPC also runs
+// (Section 4.2: "the DPC can also cache other types of content as well,
+// e.g., rich content, static fragments"; the paper's test setup serves
+// all static content from the ISA proxy cache so it never touches the
+// measured origin link).
+//
+// Only responses the origin explicitly marks with Cache-Control: max-age
+// are cached, and never template responses — dynamic pages must not be
+// URL-keyed, which is the paper's core correctness argument. Entries are
+// LRU-evicted beyond MaxEntries and lazily expired.
+type StaticCache struct {
+	mu         sync.Mutex
+	entries    map[string]*list.Element
+	lru        *list.List // front = most recent
+	maxEntries int
+	clk        clock.Clock
+
+	hits, misses int64
+}
+
+type staticEntry struct {
+	url     string
+	body    []byte
+	ctype   string
+	expires time.Time
+}
+
+// NewStaticCache returns a cache bounded to maxEntries (<=0 selects 1024).
+// A nil clk uses the real clock.
+func NewStaticCache(maxEntries int, clk clock.Clock) *StaticCache {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &StaticCache{
+		entries:    make(map[string]*list.Element),
+		lru:        list.New(),
+		maxEntries: maxEntries,
+		clk:        clk,
+	}
+}
+
+// Get returns a cached body and content type for the URL, if fresh.
+func (c *StaticCache) Get(url string) (body []byte, contentType string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[url]
+	if !found {
+		c.misses++
+		return nil, "", false
+	}
+	e := el.Value.(*staticEntry)
+	if !c.clk.Now().Before(e.expires) {
+		c.lru.Remove(el)
+		delete(c.entries, url)
+		c.misses++
+		return nil, "", false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return e.body, e.ctype, true
+}
+
+// Put stores a response body under the URL for ttl. Non-positive ttl is
+// ignored.
+func (c *StaticCache) Put(url string, body []byte, contentType string, ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	cp := make([]byte, len(body))
+	copy(cp, body)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.entries[url]; found {
+		e := el.Value.(*staticEntry)
+		e.body, e.ctype, e.expires = cp, contentType, c.clk.Now().Add(ttl)
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.maxEntries {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*staticEntry).url)
+	}
+	el := c.lru.PushFront(&staticEntry{url: url, body: cp, ctype: contentType, expires: c.clk.Now().Add(ttl)})
+	c.entries[url] = el
+}
+
+// Len returns the resident entry count.
+func (c *StaticCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns hit and miss counts.
+func (c *StaticCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// maxAgeFrom parses Cache-Control for a positive max-age; no-store and
+// no-cache disable caching.
+func maxAgeFrom(cacheControl string) time.Duration {
+	if cacheControl == "" {
+		return 0
+	}
+	var age time.Duration
+	for _, part := range strings.Split(cacheControl, ",") {
+		part = strings.TrimSpace(strings.ToLower(part))
+		switch {
+		case part == "no-store", part == "no-cache", part == "private":
+			return 0
+		case strings.HasPrefix(part, "max-age="):
+			secs, err := strconv.Atoi(part[len("max-age="):])
+			if err != nil || secs <= 0 {
+				return 0
+			}
+			age = time.Duration(secs) * time.Second
+		}
+	}
+	return age
+}
+
+// cacheableStatic reports whether a proxied response may enter the static
+// cache: 200, explicitly cacheable, and not a template.
+func cacheableStatic(resp *http.Response) time.Duration {
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	if resp.Header.Get(headerTemplate) != "" {
+		return 0 // dynamic: never URL-keyed (Section 3.2.1)
+	}
+	return maxAgeFrom(resp.Header.Get("Cache-Control"))
+}

@@ -1,0 +1,129 @@
+package dpc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dpcache/internal/clock"
+)
+
+func TestStaticCachePutGet(t *testing.T) {
+	c := NewStaticCache(4, nil)
+	c.Put("/static/logo", []byte("png-bytes"), "image/png", time.Minute)
+	body, ctype, ok := c.Get("/static/logo")
+	if !ok || string(body) != "png-bytes" || ctype != "image/png" {
+		t.Fatalf("get = %q %q %v", body, ctype, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestStaticCacheMiss(t *testing.T) {
+	c := NewStaticCache(4, nil)
+	if _, _, ok := c.Get("/nope"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Fatal("miss not counted")
+	}
+}
+
+func TestStaticCacheExpiry(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	c := NewStaticCache(4, fake)
+	c.Put("/a", []byte("x"), "text/plain", 10*time.Second)
+	fake.Advance(9 * time.Second)
+	if _, _, ok := c.Get("/a"); !ok {
+		t.Fatal("expired early")
+	}
+	fake.Advance(2 * time.Second)
+	if _, _, ok := c.Get("/a"); ok {
+		t.Fatal("served past expiry")
+	}
+	if c.Len() != 0 {
+		t.Fatal("expired entry not removed")
+	}
+}
+
+func TestStaticCacheZeroTTLIgnored(t *testing.T) {
+	c := NewStaticCache(4, nil)
+	c.Put("/a", []byte("x"), "text/plain", 0)
+	if c.Len() != 0 {
+		t.Fatal("zero-TTL entry stored")
+	}
+}
+
+func TestStaticCacheLRUEviction(t *testing.T) {
+	c := NewStaticCache(2, nil)
+	c.Put("/a", []byte("a"), "t", time.Hour)
+	c.Put("/b", []byte("b"), "t", time.Hour)
+	if _, _, ok := c.Get("/a"); !ok { // touch a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("/c", []byte("c"), "t", time.Hour)
+	if _, _, ok := c.Get("/b"); ok {
+		t.Fatal("LRU entry b survived")
+	}
+	if _, _, ok := c.Get("/a"); !ok {
+		t.Fatal("recently used entry a evicted")
+	}
+}
+
+func TestStaticCacheOverwrite(t *testing.T) {
+	c := NewStaticCache(2, nil)
+	c.Put("/a", []byte("v1"), "t", time.Hour)
+	c.Put("/a", []byte("v2"), "t", time.Hour)
+	body, _, _ := c.Get("/a")
+	if string(body) != "v2" {
+		t.Fatalf("body = %q", body)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestStaticCacheCopiesBody(t *testing.T) {
+	c := NewStaticCache(2, nil)
+	src := []byte("abc")
+	c.Put("/a", src, "t", time.Hour)
+	src[0] = 'z'
+	body, _, _ := c.Get("/a")
+	if string(body) != "abc" {
+		t.Fatal("cache aliased caller buffer")
+	}
+}
+
+func TestMaxAgeParsing(t *testing.T) {
+	cases := []struct {
+		cc   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"max-age=60", time.Minute},
+		{"public, max-age=300", 5 * time.Minute},
+		{"max-age=60, no-store", 0},
+		{"no-cache, max-age=60", 0},
+		{"private, max-age=60", 0},
+		{"max-age=-5", 0},
+		{"max-age=abc", 0},
+		{"MAX-AGE=10", 10 * time.Second}, // case-insensitive
+	}
+	for _, tc := range cases {
+		if got := maxAgeFrom(tc.cc); got != tc.want {
+			t.Errorf("maxAgeFrom(%q) = %v, want %v", tc.cc, got, tc.want)
+		}
+	}
+}
+
+func TestStaticCacheManyEntriesBounded(t *testing.T) {
+	c := NewStaticCache(8, nil)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("/f%d", i), []byte("x"), "t", time.Hour)
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len = %d, want 8", c.Len())
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dpcache/internal/analytical"
+)
+
+// Table2 reproduces Table 2: the baseline parameter settings.
+func Table2() Table {
+	p := analytical.Baseline()
+	return Table{
+		ID:      "table2",
+		Title:   "Baseline parameter settings for analysis (Table 2)",
+		Columns: []string{"parameter", "value"},
+		Rows: [][]string{
+			{"hit ratio (h)", f2(p.HitRatio)},
+			{"fragment size (s_e)", fmt.Sprintf("%.0f bytes", p.FragmentBytes)},
+			{"number of fragments per page", fmt.Sprint(p.FragmentsPerPage)},
+			{"number of pages", fmt.Sprint(p.Pages)},
+			{"average size of header information (f)", fmt.Sprintf("%.0f bytes", p.HeaderBytes)},
+			{"tag size (g)", fmt.Sprintf("%.0f bytes", p.TagBytes)},
+			{"cacheability factor", f2(p.Cacheability)},
+			{"number of requests during interval (R)", fmt.Sprintf("%.0f", p.Requests)},
+		},
+	}
+}
+
+// Fig2a reproduces Figure 2(a): analytical B_C/B_NC as fragment size
+// varies from 0 to 5KB.
+func Fig2a() Table {
+	p := analytical.Baseline()
+	pts := analytical.SweepFragmentSize(p, 0, 5120, 256)
+	t := Table{
+		ID:      "fig2a",
+		Title:   "Bytes served cache/no-cache vs fragment size (Figure 2(a), analytical)",
+		Columns: []string{"fragment KB", "B_C/B_NC"},
+	}
+	for _, pt := range pts {
+		t.Rows = append(t.Rows, []string{f2(pt.X / 1024), f3(pt.Y)})
+	}
+	t.Notes = append(t.Notes,
+		"ratio > 1 near zero fragment size: tag overhead dominates",
+		"steep drop below 1KB, flattening toward c(1-h)+(1-c) at large fragments")
+	return t
+}
+
+// Fig2b reproduces Figure 2(b): analytical savings in expected bytes
+// served as the hit ratio varies from 0 to 1.
+func Fig2b() Table {
+	p := analytical.Baseline()
+	pts := analytical.SweepHitRatio(p, 0, 1, 0.05)
+	t := Table{
+		ID:      "fig2b",
+		Title:   "Savings in bytes served (%) vs hit ratio (Figure 2(b), analytical)",
+		Columns: []string{"hit ratio", "savings %"},
+	}
+	for _, pt := range pts {
+		t.Rows = append(t.Rows, []string{f2(pt.X), f1(pt.Y)})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("break-even hit ratio: %.4f (paper: ~0.01 at its settings)", p.BreakEvenHitRatio()),
+		"negative savings at h=0: tags inflate responses when nothing hits")
+	return t
+}
+
+// Fig3a reproduces Figure 3(a): network savings and firewall (scan-cost)
+// savings as the cacheability factor varies from 20% to 100%.
+func Fig3a() Table {
+	p := analytical.Baseline()
+	network, fwall := analytical.SweepCacheability(p, 0.2, 1.0, 0.05)
+	t := Table{
+		ID:      "fig3a",
+		Title:   "Cost savings (%) vs cacheability (Figure 3(a), analytical)",
+		Columns: []string{"cacheability %", "network savings %", "firewall savings %"},
+	}
+	for i := range network {
+		t.Rows = append(t.Rows, []string{f1(network[i].X), f1(network[i].Y), f1(fwall[i].Y)})
+	}
+	t.Notes = append(t.Notes,
+		"network savings positive over the whole range; >70% at full cacheability",
+		"firewall savings cross zero where B_NC = 2*B_C (Result 1)")
+	return t
+}
+
+// Result1 verifies Result 1 numerically: the DPC is preferable on total
+// scan cost exactly when B_NC > 2*B_C.
+func Result1() Table {
+	t := Table{
+		ID:      "result1",
+		Title:   "Result 1: prefer DPC when expected bytes served without cache exceed twice the bytes with cache",
+		Columns: []string{"cacheability", "B_NC (MB)", "2*B_C (MB)", "prefer DPC", "scan-cost check"},
+	}
+	for c := 0.2; c <= 1.0001; c += 0.1 {
+		p := analytical.Baseline()
+		p.Cacheability = c
+		prefer := p.PreferCache()
+		scanAgrees := (p.ScanCostCached(1) < p.ScanCostNoCache(1)) == prefer
+		t.Rows = append(t.Rows, []string{
+			f2(c),
+			f1(p.BytesNoCache() / 1e6),
+			f1(2 * p.BytesCached() / 1e6),
+			fmt.Sprint(prefer),
+			map[bool]string{true: "consistent", false: "INCONSISTENT"}[scanAgrees],
+		})
+	}
+	return t
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a table cell as float.
+func cell(t *testing.T, tab Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[row][col], "x"), 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d = %q: %v", tab.ID, row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestTableString(t *testing.T) {
+	tab := Table{ID: "x", Title: "demo", Columns: []string{"a", "bb"},
+		Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
+	s := tab.String()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCatalogueComplete(t *testing.T) {
+	want := []string{"table2", "fig2a", "fig2b", "fig3a", "result1", "fig3b", "fig5", "fig6", "casestudy", "baselines",
+		"ablation-codec", "ablation-strict", "ablation-latency"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("catalogue has %d entries, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("entry %d = %q, want %q", i, e.ID, want[i])
+		}
+		if _, err := ByID(e.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestTable2RowsMatchPaper(t *testing.T) {
+	tab := Table2()
+	if len(tab.Rows) != 8 {
+		t.Fatalf("Table 2 has %d rows, want 8", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "0.80" {
+		t.Fatalf("hit ratio cell = %q", tab.Rows[0][1])
+	}
+}
+
+func TestFig2aTable(t *testing.T) {
+	tab := Fig2a()
+	if len(tab.Rows) < 15 {
+		t.Fatalf("fig2a rows = %d", len(tab.Rows))
+	}
+	first := cell(t, tab, 0, 1)
+	last := cell(t, tab, len(tab.Rows)-1, 1)
+	if first <= 1 {
+		t.Fatalf("ratio at s→0 = %v, want > 1", first)
+	}
+	if last >= 0.6 {
+		t.Fatalf("ratio at 5KB = %v, want < 0.6", last)
+	}
+}
+
+func TestFig2bTable(t *testing.T) {
+	tab := Fig2b()
+	if cell(t, tab, 0, 1) >= 0 {
+		t.Fatal("savings at h=0 should be negative")
+	}
+	last := cell(t, tab, len(tab.Rows)-1, 1)
+	if last < 50 {
+		t.Fatalf("savings at h=1 = %v, want > 50", last)
+	}
+}
+
+func TestFig3aTable(t *testing.T) {
+	tab := Fig3a()
+	for i := range tab.Rows {
+		if cell(t, tab, i, 1) <= 0 {
+			t.Fatalf("network savings non-positive at row %d", i)
+		}
+	}
+	if cell(t, tab, 0, 2) >= 0 {
+		t.Fatal("firewall savings at 20% should be negative")
+	}
+	if cell(t, tab, len(tab.Rows)-1, 2) <= 0 {
+		t.Fatal("firewall savings at 100% should be positive")
+	}
+}
+
+func TestResult1Consistent(t *testing.T) {
+	tab := Result1()
+	for i, row := range tab.Rows {
+		if row[4] != "consistent" {
+			t.Fatalf("row %d: %v", i, row)
+		}
+	}
+}
+
+// The live experiments are exercised with quick options; shapes must match
+// the paper even on a small request budget.
+func TestFig3bLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live experiment")
+	}
+	tab, err := Fig3b(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		ana := cell(t, tab, i, 1)
+		exp := cell(t, tab, i, 2)
+		if exp < ana-0.02 {
+			t.Fatalf("row %d: experimental %v below analytical %v (protocol overhead must push it up)", i, exp, ana)
+		}
+		if exp > ana+0.35 {
+			t.Fatalf("row %d: experimental %v too far above analytical %v", i, exp, ana)
+		}
+	}
+	// Ratio must fall as fragments grow (coarse: first vs last).
+	if first, last := cell(t, tab, 0, 2), cell(t, tab, len(tab.Rows)-1, 2); last >= first {
+		t.Fatalf("experimental ratio did not fall with fragment size: %v → %v", first, last)
+	}
+}
+
+func TestFig5Live(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live experiment")
+	}
+	tab, err := Fig5(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Savings increase with h; experimental below analytical + noise.
+	prevExp := -100.0
+	for i := range tab.Rows {
+		exp := cell(t, tab, i, 3)
+		ana := cell(t, tab, i, 2)
+		if exp > ana+8 {
+			t.Fatalf("row %d: experimental %v well above analytical %v", i, exp, ana)
+		}
+		if exp < prevExp-8 {
+			t.Fatalf("row %d: experimental savings fell sharply: %v after %v", i, exp, prevExp)
+		}
+		prevExp = exp
+	}
+	first, last := cell(t, tab, 0, 3), cell(t, tab, len(tab.Rows)-1, 3)
+	if last <= first {
+		t.Fatalf("experimental savings did not grow with h: %v → %v", first, last)
+	}
+}
+
+func TestFig6Live(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live experiment")
+	}
+	tab, err := Fig6(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := cell(t, tab, 0, 2), cell(t, tab, len(tab.Rows)-1, 2)
+	if last <= first {
+		t.Fatalf("experimental savings did not grow with cacheability: %v → %v", first, last)
+	}
+	if last < 40 {
+		t.Fatalf("experimental savings at full cacheability = %v, want substantial", last)
+	}
+}
+
+func TestCaseStudyLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live experiment")
+	}
+	opts := QuickOptions()
+	tab, err := CaseStudy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := cell(t, tab, 0, 3)
+	rt := cell(t, tab, 1, 3)
+	// The paper claims order-of-magnitude reductions; even the quick
+	// configuration lands well above these floors.
+	if bw < 5 {
+		t.Fatalf("bandwidth reduction %vx, want >= 5x", bw)
+	}
+	if rt < 3 {
+		t.Fatalf("response-time reduction %vx, want >= 3x", rt)
+	}
+}
+
+func TestAblationCodecLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live experiment")
+	}
+	tab, err := AblationCodec(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || tab.Rows[0][0] != "binary" || tab.Rows[1][0] != "text" {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	// Binary templates must not be larger than text templates on the wire.
+	if cell(t, tab, 0, 1) > cell(t, tab, 1, 1) {
+		t.Fatalf("binary (%v B/req) larger than text (%v B/req)", cell(t, tab, 0, 1), cell(t, tab, 1, 1))
+	}
+}
+
+func TestAblationStrictLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live experiment")
+	}
+	tab, err := AblationStrict(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+}
+
+func TestAblationLatencyLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live experiment")
+	}
+	tab, err := AblationLatencyModel(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Speedup must grow with back-end delay.
+	first := cell(t, tab, 0, 3)
+	last := cell(t, tab, len(tab.Rows)-1, 3)
+	if last <= first {
+		t.Fatalf("speedup did not grow with query delay: %v → %v", first, last)
+	}
+	if last < 3 {
+		t.Fatalf("speedup at 4ms delay = %vx, want >= 3x", last)
+	}
+}
+
+func TestBaselinesLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live experiment")
+	}
+	tab, err := Baselines(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	byName := map[string][]string{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = r
+	}
+	if byName["nocache"][2] != "0" {
+		t.Fatalf("no-cache served wrong pages: %v", byName["nocache"])
+	}
+	if byName["dpc"][2] != "0" {
+		t.Fatalf("DPC served wrong pages: %v", byName["dpc"])
+	}
+	if byName["pagecache"][2] == "0" {
+		t.Fatal("page cache served no wrong pages — the baseline flaw did not reproduce")
+	}
+	if cell(t, tab, 2, 1) >= cell(t, tab, 0, 1) {
+		t.Fatalf("DPC bytes (%v) not below no-cache (%v)", cell(t, tab, 2, 1), cell(t, tab, 0, 1))
+	}
+}

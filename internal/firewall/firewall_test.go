@@ -1,0 +1,123 @@
+package firewall
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+)
+
+func TestScanCountsBytesAndMatches(t *testing.T) {
+	f := New([]string{"attack"})
+	hits := f.Scan([]byte("an attack and another attack"))
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+	if f.ScannedBytes() != 28 {
+		t.Fatalf("scanned = %d", f.ScannedBytes())
+	}
+	if f.Matches() != 2 {
+		t.Fatalf("matches = %d", f.Matches())
+	}
+}
+
+func TestDefaultSignaturesDetect(t *testing.T) {
+	f := New(nil)
+	if f.Scan([]byte("GET /etc/passwd HTTP/1.1")) == 0 {
+		t.Fatal("default signature missed /etc/passwd")
+	}
+	if f.Scan([]byte("benign content")) != 0 {
+		t.Fatal("false positive on benign content")
+	}
+}
+
+func TestEmptySignatureSkipped(t *testing.T) {
+	f := New([]string{"", "x"})
+	if f.Scan([]byte("x")) != 1 {
+		t.Fatal("non-empty signature lost")
+	}
+}
+
+func TestCostLinearInY(t *testing.T) {
+	f := New([]string{"z"})
+	f.Scan(bytes.Repeat([]byte("a"), 1000))
+	if f.Cost(2) != 2000 {
+		t.Fatalf("Cost(2) = %v", f.Cost(2))
+	}
+	if f.Cost(0.5) != 500 {
+		t.Fatalf("Cost(0.5) = %v", f.Cost(0.5))
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New([]string{"z"})
+	f.Scan([]byte("zz"))
+	f.Reset()
+	if f.ScannedBytes() != 0 || f.Matches() != 0 {
+		t.Fatal("reset left residue")
+	}
+}
+
+func TestTotalScanCost(t *testing.T) {
+	// No-cache: only firewall. Cached: firewall + DPC at z ≈ y.
+	nc := TotalScanCost(1000, 0, 1)
+	c := TotalScanCost(400, 400, 1)
+	if nc != 1000 || c != 800 {
+		t.Fatalf("nc=%v c=%v", nc, c)
+	}
+}
+
+func TestListenerScansBothDirections(t *testing.T) {
+	f := New([]string{"needle"})
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := f.Listener(inner)
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	if _, err := client.Write([]byte("has a needle inside")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 19)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Write([]byte("reply with needle too")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 21)
+	if _, err := io.ReadFull(client, got); err != nil {
+		t.Fatal(err)
+	}
+	if f.Matches() != 2 {
+		t.Fatalf("matches = %d, want 2 (one per direction)", f.Matches())
+	}
+	if f.ScannedBytes() != 19+21 {
+		t.Fatalf("scanned = %d, want 40", f.ScannedBytes())
+	}
+}
+
+func BenchmarkScan4KB(b *testing.B) {
+	f := New(nil)
+	payload := bytes.Repeat([]byte("<html><body>hello world</body></html>"), 120)[:4096]
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Scan(payload)
+	}
+}

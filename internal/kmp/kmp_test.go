@@ -1,0 +1,191 @@
+package kmp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexBasic(t *testing.T) {
+	cases := []struct {
+		pat, text string
+		want      int
+	}{
+		{"abc", "xxabcxx", 2},
+		{"abc", "abc", 0},
+		{"abc", "ab", -1},
+		{"aaa", "aaaa", 0},
+		{"abab", "abacabab", 4},
+		{"dpc", "", -1},
+		{"a", "ba", 1},
+	}
+	for _, c := range cases {
+		m := Compile([]byte(c.pat))
+		if got := m.Index([]byte(c.text)); got != c.want {
+			t.Errorf("Index(%q in %q) = %d, want %d", c.pat, c.text, got, c.want)
+		}
+	}
+}
+
+func TestCompileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compile(empty) did not panic")
+		}
+	}()
+	Compile(nil)
+}
+
+func TestPatternReturnsCopy(t *testing.T) {
+	src := []byte("abc")
+	m := Compile(src)
+	src[0] = 'z' // mutating caller's slice must not affect matcher
+	if m.Index([]byte("abc")) != 0 {
+		t.Fatal("matcher was corrupted by caller mutation")
+	}
+	p := m.Pattern()
+	p[0] = 'q'
+	if m.Index([]byte("abc")) != 0 {
+		t.Fatal("matcher was corrupted by Pattern() mutation")
+	}
+}
+
+func TestCountOverlapping(t *testing.T) {
+	m := Compile([]byte("aa"))
+	if got := m.Count([]byte("aaaa")); got != 3 {
+		t.Fatalf("Count(aa in aaaa) = %d, want 3 (overlapping)", got)
+	}
+}
+
+// Property: Index agrees with bytes.Index on random inputs drawn from a
+// small alphabet (small alphabets maximize partial-match stress).
+func TestIndexMatchesBytesIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	gen := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(3))
+		}
+		return b
+	}
+	for trial := 0; trial < 2000; trial++ {
+		pat := gen(1 + rng.Intn(6))
+		text := gen(rng.Intn(64))
+		want := bytes.Index(text, pat)
+		if got := Compile(pat).Index(text); got != want {
+			t.Fatalf("pattern %q text %q: kmp=%d bytes.Index=%d", pat, text, got, want)
+		}
+	}
+}
+
+// Property: the streaming matcher finds exactly the same match end
+// positions as a whole-buffer scan, no matter where chunk boundaries fall.
+func TestStreamMatchesWholeBufferScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		pat := make([]byte, 1+rng.Intn(5))
+		for i := range pat {
+			pat[i] = byte('a' + rng.Intn(2))
+		}
+		text := make([]byte, rng.Intn(200))
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(2))
+		}
+		m := Compile(pat)
+
+		// Whole-buffer ends.
+		var want []int
+		s := m.Stream()
+		for _, e := range s.Feed(text) {
+			want = append(want, e)
+		}
+
+		// Chunked ends, translated to absolute positions.
+		var got []int
+		s2 := m.Stream()
+		pos := 0
+		for pos < len(text) {
+			n := 1 + rng.Intn(7)
+			if pos+n > len(text) {
+				n = len(text) - pos
+			}
+			for _, e := range s2.Feed(text[pos : pos+n]) {
+				got = append(got, pos+e)
+			}
+			pos += n
+		}
+		if len(got) != len(want) {
+			t.Fatalf("pattern %q text %q: chunked found %d matches, whole found %d", pat, text, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("pattern %q text %q: match %d at %d, want %d", pat, text, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamConsumedAndReset(t *testing.T) {
+	m := Compile([]byte("xy"))
+	s := m.Stream()
+	s.Feed([]byte("x"))
+	if s.State() != 1 {
+		t.Fatalf("state = %d, want 1 (one prefix byte pending)", s.State())
+	}
+	s.Feed([]byte("y"))
+	if s.Consumed() != 2 {
+		t.Fatalf("consumed = %d, want 2", s.Consumed())
+	}
+	s.Reset()
+	if s.Consumed() != 0 || s.State() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestStreamMatchAcrossBoundary(t *testing.T) {
+	m := Compile([]byte("DPC"))
+	s := m.Stream()
+	if ends := s.Feed([]byte("xxD")); len(ends) != 0 {
+		t.Fatal("premature match")
+	}
+	if ends := s.Feed([]byte("PCyy")); len(ends) != 1 || ends[0] != 1 {
+		t.Fatalf("ends = %v, want [1]", ends)
+	}
+}
+
+// Property via testing/quick: Count is never negative and never exceeds
+// len(text) occurrences.
+func TestCountBounds(t *testing.T) {
+	f := func(pat, text []byte) bool {
+		if len(pat) == 0 {
+			pat = []byte{0}
+		}
+		n := Compile(pat).Count(text)
+		return n >= 0 && n <= len(text)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIndex4KB(b *testing.B) {
+	text := bytes.Repeat([]byte("the quick brown fox "), 205)[:4096]
+	m := Compile([]byte{0x01, 'D', 'P', 'C'})
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Index(text)
+	}
+}
+
+func BenchmarkStreamFeed4KB(b *testing.B) {
+	text := bytes.Repeat([]byte("the quick brown fox "), 205)[:4096]
+	m := Compile([]byte{0x01, 'D', 'P', 'C'})
+	s := m.Stream()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Feed(text)
+	}
+}

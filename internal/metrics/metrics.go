@@ -1,0 +1,241 @@
+// Package metrics provides the lightweight counters and latency histograms
+// used to instrument every component of the dynamic proxy caching system.
+//
+// All types are safe for concurrent use and allocation-free on the hot path.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing 64-bit counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable 64-bit value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records durations into fixed exponential buckets so that
+// experiments can report latency percentiles without retaining samples.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []time.Duration // upper bound of each bucket, ascending
+	counts  []int64         // len(bounds)+1; last bucket is overflow
+	total   int64
+	sum     time.Duration
+	minSeen time.Duration
+	maxSeen time.Duration
+}
+
+// NewHistogram returns a histogram with exponentially spaced bucket
+// boundaries from lo doubling up to hi (inclusive).
+func NewHistogram(lo, hi time.Duration) *Histogram {
+	if lo <= 0 {
+		lo = time.Microsecond
+	}
+	var bounds []time.Duration
+	for b := lo; b <= hi; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i]++
+	h.total++
+	h.sum += d
+	if h.total == 1 || d < h.minSeen {
+		h.minSeen = d
+	}
+	if d > h.maxSeen {
+		h.maxSeen = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the average observed duration, or zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Min returns the smallest observation, or zero when empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.minSeen
+}
+
+// Max returns the largest observation, or zero when empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.maxSeen
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) using the
+// bucket boundaries; the answer is exact to within one bucket.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.maxSeen
+		}
+	}
+	return h.maxSeen
+}
+
+// Registry is a named collection of counters, gauges, and histograms.
+// Components share one registry so that experiments can snapshot the whole
+// system in one call.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	ggs   map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		ggs:   make(map[string]*Gauge),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.ggs[name]
+	if !ok {
+		g = &Gauge{}
+		r.ggs[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating a default-range
+// (1µs–16s) histogram on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(time.Microsecond, 16*time.Second)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of all scalar metric values.
+type Snapshot map[string]int64
+
+// Snapshot copies every counter and gauge value. Histograms are summarized
+// as <name>.count and <name>.mean_ns entries.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := make(Snapshot, len(r.ctrs)+len(r.ggs)+2*len(r.hists))
+	for name, c := range r.ctrs {
+		s[name] = c.Value()
+	}
+	for name, g := range r.ggs {
+		s[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s[name+".count"] = h.Count()
+		s[name+".mean_ns"] = int64(h.Mean())
+	}
+	return s
+}
+
+// Diff returns after-before for every key present in after.
+func (after Snapshot) Diff(before Snapshot) Snapshot {
+	d := make(Snapshot, len(after))
+	for k, v := range after {
+		d[k] = v - before[k]
+	}
+	return d
+}
+
+// String renders the snapshot sorted by key, one metric per line.
+func (s Snapshot) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d\n", k, s[k])
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 32000 {
+		t.Fatalf("counter = %d, want 32000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramMeanMinMax(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second)
+	h.Observe(10 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if got := h.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("mean = %v, want 20ms", got)
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 30*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileWithinOneBucket(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 1024*time.Millisecond)
+	for i := 0; i < 99; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	h.Observe(900 * time.Millisecond)
+	p50 := h.Quantile(0.5)
+	if p50 > 4*time.Millisecond {
+		t.Fatalf("p50 = %v, want <= 4ms (one-bucket slack)", p50)
+	}
+	p100 := h.Quantile(1.0)
+	if p100 < 900*time.Millisecond {
+		t.Fatalf("p100 = %v, want >= 900ms", p100)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second)
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 4*time.Millisecond)
+	h.Observe(time.Minute)
+	if got := h.Quantile(1.0); got != time.Minute {
+		t.Fatalf("overflow quantile = %v, want 1m", got)
+	}
+}
+
+func TestRegistrySameNameSameInstance(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("Counter(a) returned distinct instances")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge(g) returned distinct instances")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("Histogram(h) returned distinct instances")
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(5)
+	before := r.Snapshot()
+	r.Counter("reqs").Add(7)
+	after := r.Snapshot()
+	d := after.Diff(before)
+	if d["reqs"] != 7 {
+		t.Fatalf("diff reqs = %d, want 7", d["reqs"])
+	}
+}
+
+func TestSnapshotIncludesHistogramSummary(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat").Observe(time.Millisecond)
+	s := r.Snapshot()
+	if s["lat.count"] != 1 {
+		t.Fatalf("lat.count = %d, want 1", s["lat.count"])
+	}
+	if s["lat.mean_ns"] != int64(time.Millisecond) {
+		t.Fatalf("lat.mean_ns = %d, want %d", s["lat.mean_ns"], int64(time.Millisecond))
+	}
+}
+
+func TestSnapshotStringSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	s := r.Snapshot().String()
+	if s != "a=1\nb=1\n" {
+		t.Fatalf("String() = %q", s)
+	}
+}

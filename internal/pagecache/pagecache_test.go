@@ -1,0 +1,176 @@
+package pagecache
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpcache/internal/clock"
+)
+
+func newOriginServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		user := r.Header.Get("X-User")
+		if user == "" {
+			fmt.Fprintf(w, "<html>anon page %s</html>", r.URL.RawQuery)
+			return
+		}
+		fmt.Fprintf(w, "<html>Hello, %s! %s</html>", user, r.URL.RawQuery)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func newProxy(t *testing.T, originURL string, ttl time.Duration, clk clock.Clock) *httptest.Server {
+	t.Helper()
+	p, err := New(Config{OriginURL: originURL, TTL: ttl, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func fetch(t *testing.T, url, user string) (string, string) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	if user != "" {
+		req.Header.Set("X-User", user)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b), resp.Header.Get("X-Cache")
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{TTL: time.Second}); err == nil {
+		t.Fatal("missing origin accepted")
+	}
+	if _, err := New(Config{OriginURL: "http://x"}); err == nil {
+		t.Fatal("zero TTL accepted")
+	}
+}
+
+func TestCachesByURL(t *testing.T) {
+	origin, hits := newOriginServer(t)
+	proxy := newProxy(t, origin.URL, time.Minute, nil)
+	b1, s1 := fetch(t, proxy.URL+"/page?q=1", "")
+	b2, s2 := fetch(t, proxy.URL+"/page?q=1", "")
+	if s1 != "MISS" || s2 != "HIT" {
+		t.Fatalf("states = %s, %s", s1, s2)
+	}
+	if b1 != b2 {
+		t.Fatal("cached page differs")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("origin hits = %d", hits.Load())
+	}
+}
+
+func TestDistinctURLsDistinctEntries(t *testing.T) {
+	origin, hits := newOriginServer(t)
+	proxy := newProxy(t, origin.URL, time.Minute, nil)
+	fetch(t, proxy.URL+"/page?q=1", "")
+	fetch(t, proxy.URL+"/page?q=2", "")
+	if hits.Load() != 2 {
+		t.Fatalf("origin hits = %d", hits.Load())
+	}
+}
+
+// The deliberate flaw, reproduced: Alice gets Bob's page.
+func TestServesWrongPageAcrossUsers(t *testing.T) {
+	origin, _ := newOriginServer(t)
+	proxy := newProxy(t, origin.URL, time.Minute, nil)
+	bob, _ := fetch(t, proxy.URL+"/page?q=1", "bob")
+	if !strings.Contains(bob, "Hello, bob!") {
+		t.Fatalf("bob page = %q", bob)
+	}
+	alice, state := fetch(t, proxy.URL+"/page?q=1", "") // anonymous, same URL
+	if state != "HIT" {
+		t.Fatalf("alice state = %s", state)
+	}
+	if !strings.Contains(alice, "Hello, bob!") {
+		t.Fatalf("expected the baseline to serve Bob's page to Alice (that is its documented flaw); got %q", alice)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	origin, hits := newOriginServer(t)
+	fake := clock.NewFake(time.Unix(0, 0))
+	proxy := newProxy(t, origin.URL, 30*time.Second, fake)
+	fetch(t, proxy.URL+"/p", "")
+	fake.Advance(31 * time.Second)
+	_, state := fetch(t, proxy.URL+"/p", "")
+	if state != "MISS" {
+		t.Fatalf("state after expiry = %s", state)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("origin hits = %d", hits.Load())
+	}
+}
+
+func TestErrorsPassThroughUncached(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+	proxy := newProxy(t, ts.URL, time.Minute, nil)
+	resp, err := http.Get(proxy.URL + "/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(proxy.URL + "/missing")
+	resp.Body.Close()
+	if resp.Header.Get("X-Cache") == "HIT" {
+		t.Fatal("error response was cached")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	origin, hits := newOriginServer(t)
+	p, err := New(Config{OriginURL: origin.URL, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	fetch(t, ts.URL+"/p", "")
+	p.Flush()
+	fetch(t, ts.URL+"/p", "")
+	if hits.Load() != 2 {
+		t.Fatalf("origin hits after flush = %d", hits.Load())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	origin, _ := newOriginServer(t)
+	p, err := New(Config{OriginURL: origin.URL, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	fetch(t, ts.URL+"/p", "")
+	fetch(t, ts.URL+"/p", "")
+	if p.Registry().Counter("pagecache.hits").Value() != 1 ||
+		p.Registry().Counter("pagecache.misses").Value() != 1 {
+		t.Fatal("hit/miss accounting wrong")
+	}
+}

@@ -1,0 +1,145 @@
+package routing
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"dpcache/internal/metrics"
+)
+
+// Router is the client-facing front door of a forward-proxy deployment:
+// it owns the ring, health state, and failover policy, and forwards each
+// request to the session-affine DPC.
+type Router struct {
+	ring *Ring
+	mu   sync.RWMutex
+	urls map[string]string // node name → base URL
+	down map[string]time.Time
+
+	// MaxFailover bounds the failover chain length (default 2).
+	MaxFailover int
+	// CoolDown is how long a failed node stays out of rotation.
+	CoolDown time.Duration
+
+	client *http.Client
+	reg    *metrics.Registry
+}
+
+// NewRouter returns a router over an empty proxy set.
+func NewRouter(reg *metrics.Registry) *Router {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Router{
+		ring:        NewRing(0),
+		urls:        make(map[string]string),
+		down:        make(map[string]time.Time),
+		MaxFailover: 2,
+		CoolDown:    5 * time.Second,
+		client:      &http.Client{Timeout: 10 * time.Second},
+		reg:         reg,
+	}
+}
+
+// AddProxy registers an edge DPC under a stable name.
+func (rt *Router) AddProxy(name, baseURL string) {
+	rt.mu.Lock()
+	rt.urls[name] = baseURL
+	rt.mu.Unlock()
+	rt.ring.Add(name)
+}
+
+// RemoveProxy drops a proxy permanently.
+func (rt *Router) RemoveProxy(name string) {
+	rt.ring.Remove(name)
+	rt.mu.Lock()
+	delete(rt.urls, name)
+	delete(rt.down, name)
+	rt.mu.Unlock()
+}
+
+// Proxies returns registered proxy names.
+func (rt *Router) Proxies() []string { return rt.ring.Nodes() }
+
+func (rt *Router) available(name string, now time.Time) bool {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	until, bad := rt.down[name]
+	return !bad || now.After(until)
+}
+
+func (rt *Router) markDown(name string, now time.Time) {
+	rt.mu.Lock()
+	rt.down[name] = now.Add(rt.CoolDown)
+	rt.mu.Unlock()
+	rt.reg.Counter("router.marked_down").Inc()
+}
+
+func (rt *Router) urlFor(name string) string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.urls[name]
+}
+
+// Pick returns the failover chain for a request.
+func (rt *Router) Pick(userID, remoteAddr string) ([]string, error) {
+	chain := rt.MaxFailover + 1
+	return rt.ring.RouteN(SessionKey(userID, remoteAddr), chain)
+}
+
+// ServeHTTP forwards the request along the failover chain until a proxy
+// answers, marking unreachable proxies down for the cool-down period.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	chain, err := rt.Pick(r.Header.Get("X-User"), r.RemoteAddr)
+	if err != nil {
+		http.Error(w, "router: no proxies registered", http.StatusServiceUnavailable)
+		return
+	}
+	now := time.Now()
+	var lastErr error
+	for _, name := range chain {
+		if !rt.available(name, now) {
+			continue
+		}
+		resp, err := rt.forward(name, r)
+		if err != nil {
+			lastErr = err
+			rt.markDown(name, now)
+			rt.reg.Counter("router.failovers").Inc()
+			continue
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.Header().Set("X-Routed-To", name)
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		rt.reg.Counter("router.requests").Inc()
+		return
+	}
+	rt.reg.Counter("router.exhausted").Inc()
+	http.Error(w, fmt.Sprintf("router: all proxies failed (last: %v)", lastErr), http.StatusBadGateway)
+}
+
+func (rt *Router) forward(name string, r *http.Request) (*http.Response, error) {
+	url := rt.urlFor(name)
+	if url == "" {
+		return nil, fmt.Errorf("routing: proxy %q has no URL", name)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url+r.URL.RequestURI(), nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range []string{"X-User", "Cookie", "Accept"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	return rt.client.Do(req)
+}

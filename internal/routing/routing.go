@@ -1,0 +1,172 @@
+// Package routing addresses the first open problem of the paper's Section
+// 7: request routing across a set of forward-deployed Dynamic Proxy
+// Caches.
+//
+// URL-based CDN routing does not apply — fragments are not addressable by
+// URL — so requests are routed by *session affinity*: a stable key (user
+// ID when present, else client address) is mapped onto the proxy set with
+// a consistent-hash ring. Affinity maximizes fragment reuse at whichever
+// proxy a user's session warms, and the ring keeps reassignment minimal
+// when proxies join or fail ("requests routed to a given dynamic proxy
+// cache must failover seamlessly and transparently to another proxy").
+package routing
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over named nodes. It is safe for
+// concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	hashes   []uint64          // sorted virtual-node positions
+	owner    map[uint64]string // position → node
+	nodes    map[string]bool
+}
+
+// NewRing returns a ring placing each node at the given number of virtual
+// positions (more replicas → smoother balance). replicas <= 0 selects 64.
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	return &Ring{
+		replicas: replicas,
+		owner:    make(map[uint64]string),
+		nodes:    make(map[string]bool),
+	}
+}
+
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(s))
+	h := f.Sum64()
+	// FNV of short, similar strings clusters on the ring; a splitmix64
+	// avalanche finalizer spreads the positions uniformly.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Add inserts a node; adding an existing node is a no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		pos := hash64(fmt.Sprintf("%s#%d", node, i))
+		// Collisions across distinct vnodes are resolved by keeping
+		// the lexically smaller owner, making Add order-independent.
+		if cur, ok := r.owner[pos]; ok && cur <= node {
+			continue
+		}
+		if _, ok := r.owner[pos]; !ok {
+			r.hashes = append(r.hashes, pos)
+		}
+		r.owner[pos] = node
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+}
+
+// Remove deletes a node (e.g. on failure detection).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.hashes[:0]
+	for _, pos := range r.hashes {
+		if r.owner[pos] == node {
+			delete(r.owner, pos)
+			continue
+		}
+		kept = append(kept, pos)
+	}
+	r.hashes = kept
+}
+
+// Nodes returns the current node set, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the node count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Route maps a key to its owning node.
+func (r *Ring) Route(key string) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.hashes) == 0 {
+		return "", fmt.Errorf("routing: ring is empty")
+	}
+	return r.owner[r.successor(hash64(key))], nil
+}
+
+// RouteN maps a key to its owner plus up to n−1 distinct failover nodes in
+// ring order — the failover chain of Section 7.
+func (r *Ring) RouteN(key string, n int) ([]string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.hashes) == 0 {
+		return nil, fmt.Errorf("routing: ring is empty")
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	var out []string
+	seen := make(map[string]bool, n)
+	idx := r.index(hash64(key))
+	for i := 0; len(out) < n && i < len(r.hashes); i++ {
+		node := r.owner[r.hashes[(idx+i)%len(r.hashes)]]
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out, nil
+}
+
+func (r *Ring) index(h uint64) int {
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		return 0
+	}
+	return i
+}
+
+func (r *Ring) successor(h uint64) uint64 {
+	return r.hashes[r.index(h)]
+}
+
+// SessionKey derives the routing key for a request: user identity when
+// present (session affinity), falling back to the client address.
+func SessionKey(userID, remoteAddr string) string {
+	if userID != "" {
+		return "user:" + userID
+	}
+	return "addr:" + remoteAddr
+}

@@ -1,0 +1,249 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestRouteEmptyRing(t *testing.T) {
+	r := NewRing(0)
+	if _, err := r.Route("k"); err == nil {
+		t.Fatal("empty ring routed")
+	}
+	if _, err := r.RouteN("k", 2); err == nil {
+		t.Fatal("empty ring routed N")
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	r := NewRing(0)
+	r.Add("a")
+	r.Add("b")
+	r.Add("c")
+	first, err := r.Route("user:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		got, _ := r.Route("user:42")
+		if got != first {
+			t.Fatal("routing not deterministic")
+		}
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	r := NewRing(0)
+	r.Add("a")
+	r.Add("a")
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRemoveUnknownNoop(t *testing.T) {
+	r := NewRing(0)
+	r.Add("a")
+	r.Remove("zzz")
+	if r.Len() != 1 {
+		t.Fatal("remove of unknown node changed ring")
+	}
+}
+
+func TestBalanceRoughlyEven(t *testing.T) {
+	r := NewRing(128)
+	nodes := []string{"a", "b", "c", "d"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		n, err := r.Route(fmt.Sprintf("user:%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[n]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if math.Abs(share-0.25) > 0.10 {
+			t.Fatalf("node %s owns %.3f of keys, want ~0.25", n, share)
+		}
+	}
+}
+
+// Property: removing one node only moves keys that were owned by it; all
+// other keys keep their owner (the consistent-hashing contract).
+func TestMinimalDisruptionOnRemove(t *testing.T) {
+	r := NewRing(64)
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		r.Add(n)
+	}
+	const keys = 5000
+	before := make([]string, keys)
+	for i := range before {
+		before[i], _ = r.Route(fmt.Sprintf("k%d", i))
+	}
+	r.Remove("c")
+	for i := range before {
+		after, _ := r.Route(fmt.Sprintf("k%d", i))
+		if before[i] != "c" && after != before[i] {
+			t.Fatalf("key k%d moved from %s to %s though %s was not removed", i, before[i], after, before[i])
+		}
+		if before[i] == "c" && after == "c" {
+			t.Fatalf("key k%d still routed to removed node", i)
+		}
+	}
+}
+
+// Property: adding a node only steals keys for itself.
+func TestMinimalDisruptionOnAdd(t *testing.T) {
+	r := NewRing(64)
+	for _, n := range []string{"a", "b", "c"} {
+		r.Add(n)
+	}
+	const keys = 5000
+	before := make([]string, keys)
+	for i := range before {
+		before[i], _ = r.Route(fmt.Sprintf("k%d", i))
+	}
+	r.Add("d")
+	for i := range before {
+		after, _ := r.Route(fmt.Sprintf("k%d", i))
+		if after != before[i] && after != "d" {
+			t.Fatalf("key k%d moved %s→%s on unrelated add", i, before[i], after)
+		}
+	}
+}
+
+func TestRouteNDistinctChain(t *testing.T) {
+	r := NewRing(32)
+	for _, n := range []string{"a", "b", "c"} {
+		r.Add(n)
+	}
+	chain, err := r.RouteN("user:7", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("chain = %v", chain)
+	}
+	seen := map[string]bool{}
+	for _, n := range chain {
+		if seen[n] {
+			t.Fatalf("duplicate in chain: %v", chain)
+		}
+		seen[n] = true
+	}
+	// First element must be the primary route.
+	primary, _ := r.Route("user:7")
+	if chain[0] != primary {
+		t.Fatalf("chain[0]=%s, primary=%s", chain[0], primary)
+	}
+}
+
+func TestRouteNClampsToNodeCount(t *testing.T) {
+	r := NewRing(16)
+	r.Add("only")
+	chain, err := r.RouteN("k", 5)
+	if err != nil || len(chain) != 1 {
+		t.Fatalf("chain=%v err=%v", chain, err)
+	}
+}
+
+func TestSessionKeyAffinity(t *testing.T) {
+	if SessionKey("bob", "1.2.3.4:5") != "user:bob" {
+		t.Fatal("user key wrong")
+	}
+	if SessionKey("", "1.2.3.4:5") != "addr:1.2.3.4:5" {
+		t.Fatal("addr key wrong")
+	}
+}
+
+func TestRouterForwardsWithAffinity(t *testing.T) {
+	mk := func(name string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "served-by=%s user=%s", name, r.Header.Get("X-User"))
+		}))
+	}
+	a, b := mk("a"), mk("b")
+	defer a.Close()
+	defer b.Close()
+
+	rt := NewRouter(nil)
+	rt.AddProxy("a", a.URL)
+	rt.AddProxy("b", b.URL)
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	fetch := func(user string) (string, string) {
+		req, _ := http.NewRequest(http.MethodGet, front.URL+"/page/x", nil)
+		req.Header.Set("X-User", user)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 256)
+		n, _ := resp.Body.Read(buf)
+		return string(buf[:n]), resp.Header.Get("X-Routed-To")
+	}
+	// Same user always lands on the same proxy.
+	_, first := fetch("bob")
+	for i := 0; i < 10; i++ {
+		if _, got := fetch("bob"); got != first {
+			t.Fatalf("affinity broken: %s then %s", first, got)
+		}
+	}
+}
+
+func TestRouterFailover(t *testing.T) {
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	defer healthy.Close()
+
+	rt := NewRouter(nil)
+	rt.AddProxy("dead", "http://127.0.0.1:1") // nothing listens there
+	rt.AddProxy("live", healthy.URL)
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	// Whatever the primary is, every request must eventually succeed.
+	for i := 0; i < 8; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/p?i=%d", front.URL, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestRouterNoProxies(t *testing.T) {
+	front := httptest.NewServer(NewRouter(nil))
+	defer front.Close()
+	resp, err := http.Get(front.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestRouterRemoveProxy(t *testing.T) {
+	rt := NewRouter(nil)
+	rt.AddProxy("a", "http://x")
+	rt.RemoveProxy("a")
+	if len(rt.Proxies()) != 0 {
+		t.Fatal("proxy not removed")
+	}
+}

@@ -1,0 +1,226 @@
+// Package script is the dynamic-scripting substrate: the stand-in for the
+// JSP/ASP page-generation layer of Section 2.
+//
+// A Script generates one page. Its Layout function runs per request and
+// returns the ordered code blocks that make up the page — so both the
+// *content* and the *layout* are decided at run time, the property
+// (Section 2.1) that defeats URL-keyed proxy caches and ESI-style
+// templates, and that the DPC/BEM design exists to support.
+//
+// Cacheable code blocks are created with Tagged — the initialization-time
+// tagging API of Section 4.3.1. A tagged block carries the fragment name,
+// a TTL, and a KeyParams function producing the parameter list that
+// completes the fragmentID (fragmentID = name "+" parameterList).
+//
+// Script execution is sink-driven: the same script runs unchanged against
+//
+//   - a PlainSink (full page bytes — the no-cache baseline server), or
+//   - the origin server's BEM sink (template output with GET/SET tags).
+//
+// That shared code path is what makes the with/without-cache comparisons
+// of Section 6 apples-to-apples.
+package script
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"dpcache/internal/repository"
+)
+
+// Context carries per-request state through a script run: the request
+// parameters, the requesting user (empty for anonymous visitors), and the
+// repository handle. It also collects the data dependencies touched while
+// rendering the current fragment, which the BEM uses for update-driven
+// invalidation.
+type Context struct {
+	// Params are the request's query parameters (e.g. categoryID).
+	Params map[string]string
+	// UserID identifies a registered user; empty means anonymous.
+	UserID string
+	// Repo is the content repository backing the site.
+	Repo *repository.Repo
+
+	deps []repository.Key
+}
+
+// NewContext returns a request context.
+func NewContext(repo *repository.Repo, userID string, params map[string]string) *Context {
+	if params == nil {
+		params = map[string]string{}
+	}
+	return &Context{Params: params, UserID: userID, Repo: repo}
+}
+
+// Param returns a request parameter or def when absent.
+func (c *Context) Param(name, def string) string {
+	if v, ok := c.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Anonymous reports whether the request has no registered user.
+func (c *Context) Anonymous() bool { return c.UserID == "" }
+
+// Query reads a repository row, recording the dependency for the fragment
+// currently being rendered.
+func (c *Context) Query(table, row string) (repository.Row, error) {
+	k := repository.Key{Table: table, Row: row}
+	c.deps = append(c.deps, k)
+	return c.Repo.Get(k)
+}
+
+// Field reads one column, recording the dependency; def is returned when
+// the row or column is missing.
+func (c *Context) Field(table, row, column, def string) string {
+	k := repository.Key{Table: table, Row: row}
+	c.deps = append(c.deps, k)
+	return c.Repo.Field(k, column, def)
+}
+
+// resetDeps clears and returns the dependencies recorded so far.
+func (c *Context) resetDeps() []repository.Key {
+	d := c.deps
+	c.deps = nil
+	return d
+}
+
+// RenderFunc writes a block's output.
+type RenderFunc func(ctx *Context, w io.Writer) error
+
+// Block is one code block of a script.
+type Block struct {
+	// Name identifies the block; for tagged blocks it is the first half
+	// of the fragmentID.
+	Name string
+	// Cacheable marks the block as tagged.
+	Cacheable bool
+	// TTL bounds fragment freshness; zero means no time-based expiry.
+	TTL time.Duration
+	// KeyParams returns the parameter list completing the fragmentID.
+	// Only consulted for tagged blocks. Nil means no parameters.
+	KeyParams func(*Context) string
+	// Render produces the block's output.
+	Render RenderFunc
+}
+
+// FragmentID computes the block's fragment identifier for a request:
+// name + parameterList, as in Section 4.3.1.
+func (b Block) FragmentID(ctx *Context) string {
+	if b.KeyParams == nil {
+		return b.Name
+	}
+	return b.Name + "+" + b.KeyParams(ctx)
+}
+
+// Tagged constructs a cacheable code block — the tagging API the paper
+// inserts around cacheable regions at initialization time.
+func Tagged(name string, ttl time.Duration, keyParams func(*Context) string, render RenderFunc) Block {
+	return Block{Name: name, Cacheable: true, TTL: ttl, KeyParams: keyParams, Render: render}
+}
+
+// Untagged constructs a non-cacheable code block; its output is always
+// generated fresh and shipped as literal bytes.
+func Untagged(name string, render RenderFunc) Block {
+	return Block{Name: name, Render: render}
+}
+
+// Static is a convenience for an untagged block with fixed output.
+func Static(name, html string) Block {
+	return Untagged(name, func(_ *Context, w io.Writer) error {
+		_, err := io.WriteString(w, html)
+		return err
+	})
+}
+
+// Script generates one page.
+type Script struct {
+	// Name is the script's path component, e.g. "catalog".
+	Name string
+	// Layout returns, per request, the ordered blocks composing the page.
+	Layout func(*Context) []Block
+}
+
+// Sink receives script output. Implementations decide what "cacheable"
+// means: the plain sink renders everything; the origin's BEM sink turns
+// tagged blocks into GET/SET template instructions.
+type Sink interface {
+	// Literal receives non-cacheable output bytes.
+	Literal(p []byte) error
+	// Fragment handles one tagged block. render generates the fragment
+	// body on demand and returns the repository keys it depended on.
+	Fragment(fragmentID string, ttl time.Duration, render func(w io.Writer) ([]repository.Key, error)) error
+}
+
+// Run executes the script against the sink.
+func Run(s *Script, ctx *Context, sink Sink) error {
+	if s.Layout == nil {
+		return fmt.Errorf("script %q has no layout", s.Name)
+	}
+	for _, b := range s.Layout(ctx) {
+		b := b
+		if !b.Cacheable {
+			var buf bytes.Buffer
+			ctx.resetDeps()
+			if err := b.Render(ctx, &buf); err != nil {
+				return fmt.Errorf("script %q block %q: %w", s.Name, b.Name, err)
+			}
+			if err := sink.Literal(buf.Bytes()); err != nil {
+				return err
+			}
+			continue
+		}
+		fragID := b.FragmentID(ctx)
+		err := sink.Fragment(fragID, b.TTL, func(w io.Writer) ([]repository.Key, error) {
+			ctx.resetDeps()
+			if err := b.Render(ctx, w); err != nil {
+				return nil, fmt.Errorf("script %q block %q: %w", s.Name, b.Name, err)
+			}
+			return ctx.resetDeps(), nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PlainSink renders every block — cacheable or not — straight to a writer.
+// It is the no-cache baseline: the page exactly as a conventional
+// application server would emit it.
+type PlainSink struct {
+	W io.Writer
+	// Bytes counts total output.
+	Bytes int64
+}
+
+// Literal implements Sink.
+func (p *PlainSink) Literal(b []byte) error {
+	n, err := p.W.Write(b)
+	p.Bytes += int64(n)
+	return err
+}
+
+// Fragment implements Sink by always generating.
+func (p *PlainSink) Fragment(_ string, _ time.Duration, render func(io.Writer) ([]repository.Key, error)) error {
+	var buf bytes.Buffer
+	if _, err := render(&buf); err != nil {
+		return err
+	}
+	n, err := p.W.Write(buf.Bytes())
+	p.Bytes += int64(n)
+	return err
+}
+
+// RenderPage is a convenience that runs a script against a PlainSink and
+// returns the full page bytes.
+func RenderPage(s *Script, ctx *Context) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Run(s, ctx, &PlainSink{W: &buf}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

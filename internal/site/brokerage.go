@@ -1,0 +1,88 @@
+package site
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dpcache/internal/repository"
+	"dpcache/internal/script"
+)
+
+// BrokerageTickers are the symbols seeded by BuildBrokerage.
+var BrokerageTickers = []string{"IBM", "SUNW", "MSFT", "ORCL", "GE"}
+
+// BuildBrokerage seeds repo and returns the online-brokerage quote page of
+// Section 3.2.1: given a ticker, the page combines three content elements
+// with very different lifetimes —
+//
+//   - the current price quote (invalid within seconds),
+//   - recent headlines (updated ~every thirty minutes),
+//   - historical research data (monthly).
+//
+// Fragment-granularity caching invalidates each at its own rate; a page
+// cache would regenerate all three whenever the price ticks, which is the
+// paper's unnecessary-invalidation argument.
+//
+// Pages are addressed as /page/quote?ticker=<sym>.
+func BuildBrokerage(repo *repository.Repo) *script.Script {
+	for i, t := range BrokerageTickers {
+		repo.Put(repository.Key{Table: "quotes", Row: t},
+			map[string]string{"px": fmt.Sprintf("%d.%02d", 50+7*i, 13*i%100), "t": "09:30:00"})
+		repo.Put(repository.Key{Table: "news", Row: t},
+			map[string]string{"h1": t + " announces quarterly results", "h2": "Analysts weigh in on " + t})
+		repo.Put(repository.Key{Table: "research", Row: t},
+			map[string]string{"pe": fmt.Sprintf("%d.%d", 12+i, i), "high52": fmt.Sprintf("%d.00", 80+10*i)})
+	}
+
+	quote := script.Tagged("pxquote", 2*time.Second,
+		func(c *script.Context) string { return c.Param("ticker", "IBM") },
+		func(c *script.Context, w io.Writer) error {
+			t := c.Param("ticker", "IBM")
+			px := c.Field("quotes", t, "px", "n/a")
+			at := c.Field("quotes", t, "t", "")
+			_, err := fmt.Fprintf(w, `<div class="px">%s: $%s <small>as of %s</small></div>`, t, px, at)
+			return err
+		})
+
+	headlines := script.Tagged("headlines", 30*time.Minute,
+		func(c *script.Context) string { return c.Param("ticker", "IBM") },
+		func(c *script.Context, w io.Writer) error {
+			t := c.Param("ticker", "IBM")
+			h1 := c.Field("news", t, "h1", "")
+			h2 := c.Field("news", t, "h2", "")
+			_, err := fmt.Fprintf(w, padTo(fmt.Sprintf(`<ul class="news"><li>%s</li><li>%s</li></ul>`, h1, h2), 600))
+			return err
+		})
+
+	historical := script.Tagged("historical", 30*24*time.Hour,
+		func(c *script.Context) string { return c.Param("ticker", "IBM") },
+		func(c *script.Context, w io.Writer) error {
+			t := c.Param("ticker", "IBM")
+			pe := c.Field("research", t, "pe", "")
+			hi := c.Field("research", t, "high52", "")
+			_, err := fmt.Fprintf(w, padTo(fmt.Sprintf(
+				`<table class="hist"><tr><td>P/E</td><td>%s</td></tr><tr><td>52wk high</td><td>%s</td></tr></table>`, pe, hi), 900))
+			return err
+		})
+
+	return &script.Script{
+		Name: "quote",
+		Layout: func(ctx *script.Context) []script.Block {
+			return []script.Block{
+				script.Static("head", "<html><head><title>quotes</title></head><body>"),
+				quote,
+				headlines,
+				historical,
+				script.Static("tail", "</body></html>"),
+			}
+		},
+	}
+}
+
+// TickQuote updates a ticker's price, invalidating only the price
+// fragment.
+func TickQuote(repo *repository.Repo, ticker, px, at string) {
+	repo.Put(repository.Key{Table: "quotes", Row: ticker},
+		map[string]string{"px": px, "t": at})
+}

@@ -1,0 +1,38 @@
+package tmpl_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"dpcache/internal/tmpl"
+)
+
+// A template is literal page bytes interleaved with GET and SET
+// instructions; the text codec shows the structure, the binary codec is
+// what production traffic uses.
+func Example() {
+	var wire bytes.Buffer
+	enc := tmpl.Text{}.NewEncoder(&wire)
+	_ = enc.Literal([]byte("<html>"))
+	_ = enc.Get(7, 1)                           // splice cached fragment from slot 7
+	_ = enc.Set(8, 2, []byte("fresh fragment")) // store + splice new content
+	_ = enc.Literal([]byte("</html>"))
+	_ = enc.Flush()
+	fmt.Println(wire.String())
+
+	dec := tmpl.Text{}.NewDecoder(&wire)
+	for {
+		in, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		fmt.Printf("%s key=%d len=%d\n", in.Op, in.Key, len(in.Data))
+	}
+	// Output:
+	// <html><dpc:get k="7" g="1"/><dpc:set k="8" g="2" n="14">fresh fragment</dpc:set></html>
+	// LIT key=0 len=6
+	// GET key=7 len=0
+	// SET key=8 len=14
+	// LIT key=0 len=7
+}

@@ -1,0 +1,417 @@
+package tmpl
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+var codecs = []Codec{Binary{}, Text{}}
+
+// equalStreams compares two instruction streams after normalization.
+func equalStreams(a, b []Instruction) bool {
+	a, b = Normalize(a), Normalize(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Op != b[i].Op || a[i].Key != b[i].Key || a[i].Gen != b[i].Gen || !bytes.Equal(a[i].Data, b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOpString(t *testing.T) {
+	if OpLiteral.String() != "LIT" || OpGet.String() != "GET" || OpSet.String() != "SET" {
+		t.Fatal("op mnemonics wrong")
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Fatalf("unknown op = %q", Op(99).String())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"binary", "text"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("ByName(%s).Name() = %s", name, c.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus) did not error")
+	}
+}
+
+func TestRoundTripSimple(t *testing.T) {
+	in := []Instruction{
+		{Op: OpLiteral, Data: []byte("<html><body>")},
+		{Op: OpGet, Key: 7, Gen: 1},
+		{Op: OpLiteral, Data: []byte("<hr>")},
+		{Op: OpSet, Key: 12, Gen: 3, Data: []byte("fragment content here")},
+		{Op: OpLiteral, Data: []byte("</body></html>")},
+	}
+	for _, c := range codecs {
+		var buf bytes.Buffer
+		if err := EncodeAll(c, &buf, in); err != nil {
+			t.Fatalf("%s encode: %v", c.Name(), err)
+		}
+		out, err := DecodeAll(c, &buf)
+		if err != nil {
+			t.Fatalf("%s decode: %v", c.Name(), err)
+		}
+		if !equalStreams(in, out) {
+			t.Fatalf("%s roundtrip mismatch:\n in=%v\nout=%v", c.Name(), in, out)
+		}
+	}
+}
+
+func TestRoundTripEmptyStream(t *testing.T) {
+	for _, c := range codecs {
+		var buf bytes.Buffer
+		if err := EncodeAll(c, &buf, nil); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		out, err := DecodeAll(c, &buf)
+		if err != nil || len(out) != 0 {
+			t.Fatalf("%s: out=%v err=%v", c.Name(), out, err)
+		}
+	}
+}
+
+func TestRoundTripEmptySetContent(t *testing.T) {
+	in := []Instruction{{Op: OpSet, Key: 1, Gen: 0, Data: []byte{}}}
+	for _, c := range codecs {
+		var buf bytes.Buffer
+		if err := EncodeAll(c, &buf, in); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		out, err := DecodeAll(c, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if len(out) != 1 || out[0].Op != OpSet || len(out[0].Data) != 0 {
+			t.Fatalf("%s: out=%v", c.Name(), out)
+		}
+	}
+}
+
+// Literals containing the codec's own tag introducer must survive.
+func TestRoundTripAdversarialLiterals(t *testing.T) {
+	adversarial := [][]byte{
+		Magic,
+		[]byte(textMark),
+		append(append([]byte("x"), Magic...), []byte("<dpc:get k=\"1\" g=\"1\"/>")...),
+		bytes.Repeat(Magic, 5),
+		[]byte("<dpc:<dpc:<dpc:"),
+		[]byte{0x01, 'D', 'P'}, // partial magic at end
+		[]byte("<dpc"),         // partial mark at end
+	}
+	for _, c := range codecs {
+		for _, lit := range adversarial {
+			in := []Instruction{
+				{Op: OpLiteral, Data: lit},
+				{Op: OpGet, Key: 3, Gen: 9},
+				{Op: OpLiteral, Data: lit},
+			}
+			var buf bytes.Buffer
+			if err := EncodeAll(c, &buf, in); err != nil {
+				t.Fatalf("%s encode %q: %v", c.Name(), lit, err)
+			}
+			out, err := DecodeAll(c, &buf)
+			if err != nil {
+				t.Fatalf("%s decode %q: %v", c.Name(), lit, err)
+			}
+			if !equalStreams(in, out) {
+				t.Fatalf("%s adversarial literal %q did not roundtrip: %v", c.Name(), lit, Normalize(out))
+			}
+		}
+	}
+}
+
+// SET content may contain raw magic/marks: it is length-prefixed, never
+// escaped, and must roundtrip untouched.
+func TestRoundTripAdversarialSetContent(t *testing.T) {
+	for _, c := range codecs {
+		content := append(append([]byte("a"), Magic...), []byte("<dpc:set k=\"9\" g=\"9\" n=\"3\">")...)
+		in := []Instruction{{Op: OpSet, Key: 5, Gen: 2, Data: content}}
+		var buf bytes.Buffer
+		if err := EncodeAll(c, &buf, in); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		out, err := DecodeAll(c, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if !equalStreams(in, out) {
+			t.Fatalf("%s SET content mangled: %v", c.Name(), out)
+		}
+	}
+}
+
+// Property: random instruction streams (with literals drawn from an
+// alphabet that includes magic/mark bytes) roundtrip through both codecs.
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2002))
+	alphabet := []byte("abD<dpc:PC\x01\"/>")
+	genBytes := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return b
+	}
+	for trial := 0; trial < 200; trial++ {
+		var in []Instruction
+		for i, n := 0, rng.Intn(8); i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				in = append(in, Instruction{Op: OpLiteral, Data: genBytes(rng.Intn(80))})
+			case 1:
+				in = append(in, Instruction{Op: OpGet, Key: rng.Uint32() % 5000, Gen: rng.Uint32() % 16})
+			case 2:
+				in = append(in, Instruction{Op: OpSet, Key: rng.Uint32() % 5000, Gen: rng.Uint32() % 16, Data: genBytes(rng.Intn(120))})
+			}
+		}
+		for _, c := range codecs {
+			var buf bytes.Buffer
+			if err := EncodeAll(c, &buf, in); err != nil {
+				t.Fatalf("%s trial %d encode: %v", c.Name(), trial, err)
+			}
+			out, err := DecodeAll(c, &buf)
+			if err != nil {
+				t.Fatalf("%s trial %d decode: %v", c.Name(), trial, err)
+			}
+			if !equalStreams(in, out) {
+				t.Fatalf("%s trial %d mismatch\n in=%v\nout=%v", c.Name(), trial, Normalize(in), Normalize(out))
+			}
+		}
+	}
+}
+
+// The decoder must stream long literals in bounded chunks rather than
+// buffering them whole.
+func TestDecoderChunksLongLiterals(t *testing.T) {
+	long := bytes.Repeat([]byte("y"), 3*maxLiteralChunk+17)
+	for _, c := range codecs {
+		var buf bytes.Buffer
+		if err := EncodeAll(c, &buf, []Instruction{{Op: OpLiteral, Data: long}}); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		d := c.NewDecoder(&buf)
+		var total int
+		var pieces int
+		for {
+			in, err := d.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			if in.Op != OpLiteral {
+				t.Fatalf("%s: unexpected op %v", c.Name(), in.Op)
+			}
+			if len(in.Data) > maxLiteralChunk+len(Magic)+len(textMark) {
+				t.Fatalf("%s: literal chunk of %d bytes exceeds cap", c.Name(), len(in.Data))
+			}
+			total += len(in.Data)
+			pieces++
+		}
+		if total != len(long) {
+			t.Fatalf("%s: reassembled %d bytes, want %d", c.Name(), total, len(long))
+		}
+		if pieces < 3 {
+			t.Fatalf("%s: long literal delivered in %d pieces, want >= 3", c.Name(), pieces)
+		}
+	}
+}
+
+func TestBinaryGetTagSizeMatchesWire(t *testing.T) {
+	for _, key := range []uint32{0, 1, 127, 128, 300, 1 << 20} {
+		for _, gen := range []uint32{0, 1, 200} {
+			var buf bytes.Buffer
+			e := Binary{}.NewEncoder(&buf)
+			if err := e.Get(key, gen); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := buf.Len(), (Binary{}).GetTagSize(key, gen); got != want {
+				t.Fatalf("key=%d gen=%d: wire=%d, GetTagSize=%d", key, gen, got, want)
+			}
+		}
+	}
+}
+
+func TestBinarySetOverheadMatchesWire(t *testing.T) {
+	content := []byte("0123456789")
+	for _, key := range []uint32{0, 777, 99999} {
+		var buf bytes.Buffer
+		e := Binary{}.NewEncoder(&buf)
+		if err := e.Set(key, 4, content); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		want := Binary{}.SetOverhead(key, 4, len(content)) + len(content)
+		if buf.Len() != want {
+			t.Fatalf("key=%d: wire=%d, SetOverhead+content=%d", key, buf.Len(), want)
+		}
+	}
+}
+
+func TestTextSizeModelMatchesWire(t *testing.T) {
+	var buf bytes.Buffer
+	e := Text{}.NewEncoder(&buf)
+	if err := e.Get(42, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), (Text{}).GetTagSize(42, 7); got != want {
+		t.Fatalf("text GET wire=%d model=%d", got, want)
+	}
+	buf.Reset()
+	e = Text{}.NewEncoder(&buf)
+	if err := e.Set(42, 7, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), (Text{}).SetOverhead(42, 7, 3)+3; got != want {
+		t.Fatalf("text SET wire=%d model=%d", got, want)
+	}
+}
+
+// The paper's Table 2 uses g = 10 bytes; the binary codec's GET tag must be
+// in that neighborhood for realistic key ranges.
+func TestBinaryTagSizeNearPaperG(t *testing.T) {
+	g := Binary{}.GetTagSize(5000, 3)
+	if g < 6 || g > 12 {
+		t.Fatalf("binary GET tag = %d bytes; want within [6,12] (paper g=10)", g)
+	}
+}
+
+func TestDecodeCorruptStreams(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"binary truncated after magic", string(Magic)},
+		{"binary unknown op", string(Magic) + "Q"},
+		{"binary set missing close", string(Magic) + "S\x01\x01\x03abc"},
+		{"binary get missing gen", string(Magic) + "G\x01"},
+	}
+	for _, tc := range cases {
+		_, err := DecodeAll(Binary{}, strings.NewReader(tc.raw))
+		if err == nil {
+			t.Errorf("%s: decode succeeded, want error", tc.name)
+		}
+	}
+	textCases := []string{
+		"<dpc:get k=\"1\"/>",                  // missing g attr
+		"<dpc:zzz/>",                          // unknown verb
+		"<dpc:set k=\"1\" g=\"1\" n=\"5\">ab", // truncated content
+		"<dpc:get k=\"x\" g=\"1\"/>",          // non-numeric key
+	}
+	for _, raw := range textCases {
+		if _, err := DecodeAll(Text{}, strings.NewReader(raw)); err == nil {
+			t.Errorf("text %q: decode succeeded, want error", raw)
+		}
+	}
+}
+
+func TestNormalizeMergesAdjacentLiterals(t *testing.T) {
+	in := []Instruction{
+		{Op: OpLiteral, Data: []byte("a")},
+		{Op: OpLiteral, Data: []byte{}},
+		{Op: OpLiteral, Data: []byte("b")},
+		{Op: OpGet, Key: 1},
+		{Op: OpLiteral, Data: []byte("c")},
+	}
+	out := Normalize(in)
+	if len(out) != 3 {
+		t.Fatalf("normalized to %d instructions, want 3: %v", len(out), out)
+	}
+	if string(out[0].Data) != "ab" || out[1].Op != OpGet || string(out[2].Data) != "c" {
+		t.Fatalf("bad normalization: %v", out)
+	}
+}
+
+func TestBinaryTextRelativeSize(t *testing.T) {
+	in := []Instruction{{Op: OpGet, Key: 100, Gen: 2}, {Op: OpGet, Key: 101, Gen: 0}}
+	var bin, txt bytes.Buffer
+	if err := EncodeAll(Binary{}, &bin, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeAll(Text{}, &txt, in); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Fatalf("binary (%dB) should be smaller than text (%dB)", bin.Len(), txt.Len())
+	}
+}
+
+func benchmarkEncode(b *testing.B, c Codec) {
+	frag := bytes.Repeat([]byte("f"), 1024)
+	lit := bytes.Repeat([]byte("l"), 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		e := c.NewEncoder(&buf)
+		for j := 0; j < 4; j++ {
+			_ = e.Literal(lit)
+			if j%2 == 0 {
+				_ = e.Get(uint32(j), 1)
+			} else {
+				_ = e.Set(uint32(j), 1, frag)
+			}
+		}
+		_ = e.Flush()
+	}
+}
+
+func benchmarkDecode(b *testing.B, c Codec) {
+	frag := bytes.Repeat([]byte("f"), 1024)
+	lit := bytes.Repeat([]byte("l"), 200)
+	var buf bytes.Buffer
+	e := c.NewEncoder(&buf)
+	for j := 0; j < 4; j++ {
+		_ = e.Literal(lit)
+		if j%2 == 0 {
+			_ = e.Get(uint32(j), 1)
+		} else {
+			_ = e.Set(uint32(j), 1, frag)
+		}
+	}
+	_ = e.Flush()
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := c.NewDecoder(bytes.NewReader(raw))
+		for {
+			if _, err := d.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkCodecBinaryEncode(b *testing.B) { benchmarkEncode(b, Binary{}) }
+func BenchmarkCodecTextEncode(b *testing.B)   { benchmarkEncode(b, Text{}) }
+func BenchmarkCodecBinaryDecode(b *testing.B) { benchmarkDecode(b, Binary{}) }
+func BenchmarkCodecTextDecode(b *testing.B)   { benchmarkDecode(b, Text{}) }

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpcache/internal/metrics"
+)
+
+// Request describes one generated request: the path (with query) and the
+// user identity to attach.
+type Request struct {
+	Path string
+	User string
+}
+
+// Generator produces the next request; implementations must be safe to
+// call from the driver goroutine that owns the passed rng.
+type Generator func(rng *rand.Rand) Request
+
+// PageGenerator builds the standard experimental workload: Zipf-popular
+// pages addressed as basePath?page=<rank>, with users drawn from a pool.
+func PageGenerator(z *Zipf, users *UserPool, basePath string) Generator {
+	return func(rng *rand.Rand) Request {
+		rank := z.Sample(rng)
+		return Request{
+			Path: fmt.Sprintf("%s?page=%d", basePath, rank),
+			User: users.Pick(rng),
+		}
+	}
+}
+
+// Result summarizes a driver run.
+type Result struct {
+	Requests  int64
+	Errors    int64
+	BodyBytes int64
+	Elapsed   time.Duration
+	Latency   *metrics.Histogram
+}
+
+// Throughput returns requests per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// Driver issues HTTP requests against a front-end URL (the DPC, or the
+// origin in no-cache experiments) in a closed loop with fixed concurrency.
+type Driver struct {
+	// BaseURL is the front end, e.g. "http://127.0.0.1:9000".
+	BaseURL string
+	// Gen produces requests.
+	Gen Generator
+	// Concurrency is the virtual-client count; defaults to 1.
+	Concurrency int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Client overrides the HTTP client (tests inject transports).
+	Client *http.Client
+}
+
+// Run issues total requests and returns aggregate results. Workers split
+// the request budget; each has a derived deterministic RNG.
+func (d *Driver) Run(total int) (Result, error) {
+	if d.BaseURL == "" || d.Gen == nil {
+		return Result{}, fmt.Errorf("workload: driver needs BaseURL and Gen")
+	}
+	conc := d.Concurrency
+	if conc <= 0 {
+		conc = 1
+	}
+	if conc > total && total > 0 {
+		conc = total
+	}
+	client := d.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: conc},
+			Timeout:   30 * time.Second,
+		}
+	}
+
+	var reqs, errs, body atomic.Int64
+	hist := metrics.NewHistogram(100*time.Microsecond, 30*time.Second)
+	var wg sync.WaitGroup
+	start := time.Now()
+	per := total / conc
+	extra := total % conc
+	for w := 0; w < conc; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(worker, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(d.Seed + int64(worker)*7919))
+			for i := 0; i < n; i++ {
+				r := d.Gen(rng)
+				t0 := time.Now()
+				ok, nbytes := d.do(client, r)
+				hist.Observe(time.Since(t0))
+				reqs.Add(1)
+				if !ok {
+					errs.Add(1)
+				}
+				body.Add(nbytes)
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	return Result{
+		Requests:  reqs.Load(),
+		Errors:    errs.Load(),
+		BodyBytes: body.Load(),
+		Elapsed:   time.Since(start),
+		Latency:   hist,
+	}, nil
+}
+
+// RunTrace issues requests open-loop at the given arrival offsets (in
+// seconds from start, ascending — e.g. a Poisson.Trace). Unlike Run's
+// closed loop, arrivals are not gated on completions; MaxInFlight bounds
+// concurrency (0 = 256) and arrivals that would exceed it are dropped and
+// counted as errors, modeling an overloaded client farm.
+func (d *Driver) RunTrace(trace []float64) (Result, error) {
+	if d.BaseURL == "" || d.Gen == nil {
+		return Result{}, fmt.Errorf("workload: driver needs BaseURL and Gen")
+	}
+	limit := d.Concurrency
+	if limit <= 0 {
+		limit = 256
+	}
+	client := d.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: limit},
+			Timeout:   30 * time.Second,
+		}
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	reqs := make([]Request, len(trace))
+	for i := range reqs {
+		reqs[i] = d.Gen(rng)
+	}
+
+	var done, errs, body atomic.Int64
+	hist := metrics.NewHistogram(100*time.Microsecond, 30*time.Second)
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, at := range trace {
+		if wait := time.Duration(at*float64(time.Second)) - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			done.Add(1)
+			errs.Add(1) // dropped: client farm saturated
+			continue
+		}
+		wg.Add(1)
+		go func(r Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			ok, n := d.do(client, r)
+			hist.Observe(time.Since(t0))
+			done.Add(1)
+			if !ok {
+				errs.Add(1)
+			}
+			body.Add(n)
+		}(reqs[i])
+	}
+	wg.Wait()
+	return Result{
+		Requests:  done.Load(),
+		Errors:    errs.Load(),
+		BodyBytes: body.Load(),
+		Elapsed:   time.Since(start),
+		Latency:   hist,
+	}, nil
+}
+
+func (d *Driver) do(client *http.Client, r Request) (ok bool, bodyBytes int64) {
+	req, err := http.NewRequest(http.MethodGet, d.BaseURL+r.Path, nil)
+	if err != nil {
+		return false, 0
+	}
+	if r.User != "" {
+		req.Header.Set("X-User", r.User)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, 0
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return false, n
+	}
+	return true, n
+}

@@ -1,0 +1,123 @@
+// Package workload generates the offered load of the paper's experiments:
+// the WebLoad client-cluster stand-in.
+//
+// Page popularity follows a Zipf distribution, "which has been shown to
+// describe Web page requests with reasonable accuracy" (Section 5, citing
+// Almeida et al. and Cunha et al.). Request arrivals can follow a Poisson
+// process; the bandwidth experiments use a closed loop with fixed
+// concurrency, which is what WebLoad does at a fixed virtual-client count.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with P(rank i) ∝ 1/(i+1)^alpha. Unlike
+// math/rand's Zipf it supports alpha ≤ 1 and exposes the exact pmf, which
+// the experiments need to line up measurement with the analytical model.
+type Zipf struct {
+	cdf []float64
+	pmf []float64
+}
+
+// NewZipf builds a sampler over n ranks with the given exponent.
+func NewZipf(n int, alpha float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipf needs n > 0, got %d", n)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("workload: zipf exponent must be >= 0, got %v", alpha)
+	}
+	pmf := make([]float64, n)
+	var sum float64
+	for i := range pmf {
+		pmf[i] = 1 / math.Pow(float64(i+1), alpha)
+		sum += pmf[i]
+	}
+	cdf := make([]float64, n)
+	var acc float64
+	for i := range pmf {
+		pmf[i] /= sum
+		acc += pmf[i]
+		cdf[i] = acc
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, pmf: pmf}, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.pmf) }
+
+// Prob returns P(rank).
+func (z *Zipf) Prob(rank int) float64 { return z.pmf[rank] }
+
+// Sample draws a rank using the supplied source.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Poisson models request arrivals at a given rate (requests/second). The
+// experiments use it for open-loop traces; Interarrival returns the next
+// gap in seconds.
+type Poisson struct {
+	rate float64
+}
+
+// NewPoisson returns an arrival process with the given mean rate.
+func NewPoisson(rate float64) (*Poisson, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: poisson rate must be positive, got %v", rate)
+	}
+	return &Poisson{rate: rate}, nil
+}
+
+// Interarrival draws the next exponential gap, in seconds.
+func (p *Poisson) Interarrival(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / p.rate
+}
+
+// Trace generates n cumulative arrival times starting at 0.
+func (p *Poisson) Trace(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += p.Interarrival(rng)
+		out[i] = t
+	}
+	return out
+}
+
+// UserPool models the site's visitor population: a fixed set of registered
+// users plus anonymous traffic. RegisteredFraction of requests carry a
+// user identity (Section 2.1's registered/non-registered split).
+type UserPool struct {
+	users   []string
+	regFrac float64
+}
+
+// NewUserPool creates n registered users named u0..u(n-1).
+func NewUserPool(n int, registeredFraction float64) (*UserPool, error) {
+	if n < 0 || registeredFraction < 0 || registeredFraction > 1 {
+		return nil, fmt.Errorf("workload: bad user pool (n=%d, frac=%v)", n, registeredFraction)
+	}
+	users := make([]string, n)
+	for i := range users {
+		users[i] = fmt.Sprintf("u%d", i)
+	}
+	return &UserPool{users: users, regFrac: registeredFraction}, nil
+}
+
+// Pick returns a user ID for the next request, or "" for anonymous.
+func (u *UserPool) Pick(rng *rand.Rand) string {
+	if len(u.users) == 0 || rng.Float64() >= u.regFrac {
+		return ""
+	}
+	return u.users[rng.Intn(len(u.users))]
+}
+
+// Size returns the registered-user count.
+func (u *UserPool) Size() int { return len(u.users) }

@@ -1,0 +1,328 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewZipf(5, -1); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+}
+
+func TestZipfPmfSumsToOne(t *testing.T) {
+	z, err := NewZipf(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("pmf sums to %v", sum)
+	}
+}
+
+// Property: empirical sample frequencies match the analytical pmf.
+func TestZipfEmpiricalMatchesPmf(t *testing.T) {
+	z, err := NewZipf(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	counts := make([]int, z.N())
+	for i := 0; i < n; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for i := 0; i < z.N(); i++ {
+		got := float64(counts[i]) / n
+		want := z.Prob(i)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("rank %d: empirical %v vs pmf %v", i, got, want)
+		}
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	z, _ := NewZipf(10, 1)
+	for i := 1; i < z.N(); i++ {
+		if z.Prob(i) >= z.Prob(i-1) {
+			t.Fatalf("pmf not decreasing at rank %d", i)
+		}
+	}
+}
+
+func TestZipfAlphaZeroUniform(t *testing.T) {
+	z, _ := NewZipf(4, 0)
+	for i := 0; i < 4; i++ {
+		if math.Abs(z.Prob(i)-0.25) > 1e-12 {
+			t.Fatalf("alpha=0 pmf = %v", z.Prob(i))
+		}
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	if _, err := NewPoisson(0); err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+}
+
+func TestPoissonMeanInterarrival(t *testing.T) {
+	p, err := NewPoisson(100) // 100 req/s → mean gap 10ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += p.Interarrival(rng)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.01) > 0.0005 {
+		t.Fatalf("mean interarrival %v, want ~0.01", mean)
+	}
+}
+
+func TestPoissonTraceMonotonic(t *testing.T) {
+	p, _ := NewPoisson(10)
+	rng := rand.New(rand.NewSource(1))
+	tr := p.Trace(rng, 100)
+	for i := 1; i < len(tr); i++ {
+		if tr[i] <= tr[i-1] {
+			t.Fatalf("trace not increasing at %d", i)
+		}
+	}
+}
+
+func TestUserPoolFractions(t *testing.T) {
+	u, err := NewUserPool(20, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	reg := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if u.Pick(rng) != "" {
+			reg++
+		}
+	}
+	frac := float64(reg) / n
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("registered fraction %v, want ~0.3", frac)
+	}
+}
+
+func TestUserPoolAllAnonymous(t *testing.T) {
+	u, _ := NewUserPool(0, 1)
+	rng := rand.New(rand.NewSource(1))
+	if u.Pick(rng) != "" {
+		t.Fatal("empty pool returned a user")
+	}
+	if u.Size() != 0 {
+		t.Fatal("size")
+	}
+}
+
+func TestUserPoolValidation(t *testing.T) {
+	if _, err := NewUserPool(-1, 0.5); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := NewUserPool(1, 1.5); err == nil {
+		t.Fatal("frac > 1 accepted")
+	}
+}
+
+func TestPageGeneratorShape(t *testing.T) {
+	z, _ := NewZipf(5, 1)
+	u, _ := NewUserPool(2, 1)
+	gen := PageGenerator(z, u, "/page/synth")
+	rng := rand.New(rand.NewSource(9))
+	r := gen(rng)
+	if r.User == "" {
+		t.Fatal("expected registered user at frac=1")
+	}
+	var rank int
+	if _, err := fmt.Sscanf(r.Path, "/page/synth?page=%d", &rank); err != nil {
+		t.Fatalf("path %q: %v", r.Path, err)
+	}
+	if rank < 0 || rank >= 5 {
+		t.Fatalf("rank %d out of range", rank)
+	}
+}
+
+func TestDriverRunAgainstTestServer(t *testing.T) {
+	var hits atomic.Int64
+	var userSeen atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.Header.Get("X-User") != "" {
+			userSeen.Add(1)
+		}
+		fmt.Fprint(w, "0123456789") // 10 bytes
+	}))
+	defer ts.Close()
+
+	z, _ := NewZipf(3, 1)
+	u, _ := NewUserPool(4, 0.5)
+	d := &Driver{BaseURL: ts.URL, Gen: PageGenerator(z, u, "/page/synth"), Concurrency: 4, Seed: 11}
+	res, err := d.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 100 || hits.Load() != 100 {
+		t.Fatalf("requests = %d, server saw %d", res.Requests, hits.Load())
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.BodyBytes != 1000 {
+		t.Fatalf("body bytes = %d, want 1000", res.BodyBytes)
+	}
+	if userSeen.Load() == 0 {
+		t.Fatal("no requests carried a user header")
+	}
+	if res.Latency.Count() != 100 {
+		t.Fatalf("latency observations = %d", res.Latency.Count())
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}
+
+func TestDriverCountsErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	z, _ := NewZipf(1, 1)
+	u, _ := NewUserPool(0, 0)
+	d := &Driver{BaseURL: ts.URL, Gen: PageGenerator(z, u, "/x"), Seed: 1}
+	res, err := d.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 5 {
+		t.Fatalf("errors = %d, want 5", res.Errors)
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	d := &Driver{}
+	if _, err := d.Run(1); err == nil {
+		t.Fatal("empty driver accepted")
+	}
+}
+
+func TestDriverDeterministicRequestMix(t *testing.T) {
+	// Two runs with the same seed against a recording server must produce
+	// the same multiset of paths.
+	record := func(seed int64) map[string]int {
+		got := map[string]int{}
+		var mu = make(chan struct{}, 1)
+		mu <- struct{}{}
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			<-mu
+			got[r.URL.RawQuery]++
+			mu <- struct{}{}
+			fmt.Fprint(w, "ok")
+		}))
+		defer ts.Close()
+		z, _ := NewZipf(4, 1)
+		u, _ := NewUserPool(0, 0)
+		d := &Driver{BaseURL: ts.URL, Gen: PageGenerator(z, u, "/p"), Concurrency: 2, Seed: seed}
+		if _, err := d.Run(40); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := record(5), record(5)
+	if len(a) != len(b) {
+		t.Fatalf("mix differs: %v vs %v", a, b)
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("query %q: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+func TestRunTraceOpenLoop(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	z, _ := NewZipf(2, 1)
+	u, _ := NewUserPool(0, 0)
+	d := &Driver{BaseURL: ts.URL, Gen: PageGenerator(z, u, "/p"), Seed: 3, Concurrency: 8}
+	// 30 arrivals over ~60ms.
+	trace := make([]float64, 30)
+	for i := range trace {
+		trace[i] = float64(i) * 0.002
+	}
+	res, err := d.RunTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 30 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if hits.Load() != 30 {
+		t.Fatalf("server saw %d", hits.Load())
+	}
+	if res.Elapsed < 50*time.Millisecond {
+		t.Fatalf("open loop finished in %v; arrivals not paced", res.Elapsed)
+	}
+}
+
+func TestRunTraceDropsWhenSaturated(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	z, _ := NewZipf(1, 1)
+	u, _ := NewUserPool(0, 0)
+	d := &Driver{BaseURL: ts.URL, Gen: PageGenerator(z, u, "/p"), Seed: 3, Concurrency: 2}
+	trace := []float64{0, 0, 0, 0, 0} // 5 simultaneous arrivals, 2 slots
+	resCh := make(chan Result, 1)
+	go func() {
+		res, _ := d.RunTrace(trace)
+		resCh <- res
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	res := <-resCh
+	if res.Requests != 5 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.Errors < 3 {
+		t.Fatalf("errors = %d, want >= 3 dropped arrivals", res.Errors)
+	}
+}
+
+func TestRunTraceValidation(t *testing.T) {
+	d := &Driver{}
+	if _, err := d.RunTrace([]float64{0}); err == nil {
+		t.Fatal("empty driver accepted")
+	}
+}
