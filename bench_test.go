@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"testing"
 
 	"dpcache"
@@ -141,5 +142,34 @@ func BenchmarkWarmRequest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fetch(0)
+	}
+}
+
+// BenchmarkStoreBackendEndToEnd compares the fragment-store backends on
+// the full concurrent request path (b.RunParallel drives the proxy from
+// many goroutines, so the store's lock discipline is on the critical
+// path). Raw store-level comparisons live in internal/fragstore.
+func BenchmarkStoreBackendEndToEnd(b *testing.B) {
+	cfgs := map[string]dpcache.SystemConfig{
+		"slot": {Capacity: 256, Strict: true, Seed: 1,
+			StoreBackend: dpcache.StoreBackendSlot},
+		"sharded": {Capacity: 256, Strict: true, Seed: 1,
+			StoreBackend: dpcache.StoreBackendSharded},
+		"sharded-gdsf": {Capacity: 256, Strict: true, Seed: 1,
+			StoreBackend:    dpcache.StoreBackendSharded,
+			StoreByteBudget: 64 << 20, StoreEviction: "gdsf"},
+	}
+	for _, name := range []string{"slot", "sharded", "sharded-gdsf"} {
+		b.Run(name, func(b *testing.B) {
+			fetch, done := startBenchSystem(b, cfgs[name], "binary")
+			defer done()
+			var page atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					fetch(int(page.Add(1) % 10))
+				}
+			})
+		})
 	}
 }

@@ -2,6 +2,15 @@
 // proxy in front of an origind instance.
 //
 //	dpcd -addr :9090 -origin http://127.0.0.1:8080
+//
+// The fragment store backend is selectable: the default "slot" backend is
+// the paper's single-lock slot array; "-store sharded" enables the
+// sharded store, optionally byte-budgeted with LRU or GDSF eviction:
+//
+//	dpcd -store sharded -shards 32 -store-budget 67108864 -evict gdsf
+//
+// Store occupancy, byte, and eviction metrics are served from
+// /_dpc/stats and, with -status, logged periodically.
 package main
 
 import (
@@ -9,8 +18,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"dpcache/internal/dpc"
+	"dpcache/internal/fragstore"
 	"dpcache/internal/tmpl"
 )
 
@@ -20,22 +31,50 @@ func main() {
 	capacity := flag.Int("capacity", 4096, "fragment slot capacity (match origin's BEM)")
 	codecName := flag.String("codec", "binary", "template codec: binary or text")
 	strict := flag.Bool("strict", true, "generation-checked assembly with bypass recovery")
+	backend := flag.String("store", fragstore.BackendSlot, "fragment store backend: slot or sharded")
+	shards := flag.Int("shards", 0, "sharded store: shard count, rounded to a power of two (0 = default)")
+	budget := flag.Int64("store-budget", 0, "sharded store: resident fragment byte budget (0 = unbounded)")
+	evict := flag.String("evict", "none", "sharded store: eviction policy when over budget: none, lru, or gdsf")
+	statusEvery := flag.Duration("status", 0, "log store status at this interval (0 = disabled)")
 	flag.Parse()
 
 	codec, err := tmpl.ByName(*codecName)
 	if err != nil {
 		log.Fatal(err)
 	}
+	store, err := fragstore.New(fragstore.Config{
+		Backend:    *backend,
+		Capacity:   *capacity,
+		Shards:     *shards,
+		ByteBudget: *budget,
+		Eviction:   *evict,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	proxy, err := dpc.New(dpc.Config{
 		OriginURL: *originURL,
 		Capacity:  *capacity,
+		Store:     store,
 		Codec:     codec,
 		Strict:    *strict,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := store.Stats()
 	fmt.Printf("dpcd: proxying %s on %s (capacity %d, %s codec, strict=%v)\n",
 		*originURL, *addr, *capacity, codec.Name(), *strict)
+	fmt.Printf("dpcd: %s store, %d shard(s), byte budget %d, eviction %s; status at http://%s/_dpc/stats\n",
+		st.Backend, st.Shards, st.ByteBudget, *evict, *addr)
+	if *statusEvery > 0 {
+		go func() {
+			for range time.Tick(*statusEvery) {
+				s := store.Stats()
+				log.Printf("store: resident=%d/%d bytes=%d sets=%d hits=%d misses=%d drops=%d evictions=%d evicted_bytes=%d",
+					s.Resident, s.Capacity, s.Bytes, s.Sets, s.Hits, s.Misses, s.Drops, s.Evictions, s.EvictedBytes)
+			}
+		}()
+	}
 	log.Fatal(http.ListenAndServe(*addr, proxy))
 }

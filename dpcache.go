@@ -40,6 +40,7 @@ import (
 	"dpcache/internal/core"
 	"dpcache/internal/dpc"
 	"dpcache/internal/experiments"
+	"dpcache/internal/fragstore"
 	"dpcache/internal/repository"
 	"dpcache/internal/routing"
 	"dpcache/internal/script"
@@ -63,6 +64,33 @@ type (
 	// Proxy is the Dynamic Proxy Cache.
 	Proxy = dpc.Proxy
 )
+
+// Fragment-store subsystem: the proxy's fragment memory is pluggable (see
+// internal/fragstore). Select a backend per system via SystemConfig's
+// StoreBackend/StoreShards/StoreByteBudget/StoreEviction fields, or build
+// one directly with NewFragmentStore.
+type (
+	// FragmentStore is the fragment-memory contract shared by all
+	// backends.
+	FragmentStore = fragstore.FragmentStore
+	// StoreConfig selects and parameterizes a store backend.
+	StoreConfig = fragstore.Config
+	// StoreStats is a point-in-time snapshot of store activity.
+	StoreStats = fragstore.Stats
+)
+
+// Store backend names for StoreConfig.Backend / SystemConfig.StoreBackend.
+const (
+	// StoreBackendSlot is the paper-faithful single-lock slot array.
+	StoreBackendSlot = fragstore.BackendSlot
+	// StoreBackendSharded is the sharded, byte-budgeted store with
+	// pluggable eviction ("none", "lru", "gdsf").
+	StoreBackendSharded = fragstore.BackendSharded
+)
+
+// NewFragmentStore builds a standalone fragment store (most callers
+// instead set SystemConfig.StoreBackend and let the system wire it).
+func NewFragmentStore(cfg StoreConfig) (FragmentStore, error) { return fragstore.New(cfg) }
 
 // System modes.
 const (

@@ -1,0 +1,3 @@
+module dpcache
+
+go 1.24

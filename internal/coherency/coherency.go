@@ -21,7 +21,7 @@ import (
 	"sync"
 
 	"dpcache/internal/bem"
-	"dpcache/internal/dpc"
+	"dpcache/internal/fragstore"
 )
 
 // Event is one broadcast invalidation.
@@ -142,19 +142,19 @@ func (h *Hub) Events(after uint64) (evs []Event, ok bool) {
 	return evs, true
 }
 
-// StoreSubscriber applies invalidations to an edge DPC's slot store:
-// the slot is dropped so the next GET misses and triggers the strict-mode
-// refetch. A sequence gap flushes every slot.
+// StoreSubscriber applies invalidations to an edge DPC's fragment store
+// (any fragstore backend): the slot is dropped so the next GET misses and
+// triggers the strict-mode refetch. A sequence gap flushes every slot.
 type StoreSubscriber struct {
 	mu      sync.Mutex
-	store   *dpc.Store
+	store   fragstore.FragmentStore
 	lastSeq uint64
 	flushes int
 	applied int
 }
 
 // NewStoreSubscriber wraps a store.
-func NewStoreSubscriber(store *dpc.Store) *StoreSubscriber {
+func NewStoreSubscriber(store fragstore.FragmentStore) *StoreSubscriber {
 	return &StoreSubscriber{store: store}
 }
 
@@ -164,9 +164,7 @@ func (s *StoreSubscriber) Apply(ev Event) uint64 {
 	defer s.mu.Unlock()
 	if s.lastSeq != 0 && ev.Seq != s.lastSeq+1 && ev.Seq > s.lastSeq {
 		// Gap: events were lost. Flush everything.
-		for k := 0; k < s.store.Capacity(); k++ {
-			s.store.Drop(uint32(k))
-		}
+		s.store.DropAll()
 		s.flushes++
 	}
 	if ev.Seq > s.lastSeq {

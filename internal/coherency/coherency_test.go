@@ -6,6 +6,7 @@ import (
 
 	"dpcache/internal/bem"
 	"dpcache/internal/dpc"
+	"dpcache/internal/fragstore"
 )
 
 func newStore(t *testing.T, capacity int) *dpc.Store {
@@ -15,6 +16,21 @@ func newStore(t *testing.T, capacity int) *dpc.Store {
 		t.Fatal(err)
 	}
 	return s
+}
+
+// storeBackends enumerates every fragment-store backend the subscriber
+// must keep coherent.
+func storeBackends(t *testing.T, capacity int) map[string]fragstore.FragmentStore {
+	t.Helper()
+	slot, err := fragstore.NewSlotStore(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := fragstore.NewSharded(fragstore.ShardedConfig{Capacity: capacity, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]fragstore.FragmentStore{"slot": slot, "sharded": sharded}
 }
 
 func TestBroadcastDropsSlotOnAllSubscribers(t *testing.T) {
@@ -63,22 +79,85 @@ func TestAckedThrough(t *testing.T) {
 }
 
 func TestGapForcesFlush(t *testing.T) {
-	store := newStore(t, 4)
-	for k := uint32(0); k < 4; k++ {
-		_ = store.Set(k, 1, []byte("x"))
+	for name, store := range storeBackends(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			for k := uint32(0); k < 4; k++ {
+				_ = store.Set(k, 1, []byte("x"))
+			}
+			sub := NewStoreSubscriber(store)
+			sub.Apply(Event{Seq: 1, Key: 0})
+			if store.Resident() != 3 {
+				t.Fatalf("resident = %d after seq 1", store.Resident())
+			}
+			// Seq 3 arrives, 2 was lost: everything must flush.
+			sub.Apply(Event{Seq: 3, Key: 1})
+			if store.Resident() != 0 {
+				t.Fatalf("resident = %d after gap, want 0", store.Resident())
+			}
+			if sub.Flushes() != 1 {
+				t.Fatalf("flushes = %d", sub.Flushes())
+			}
+		})
 	}
-	sub := NewStoreSubscriber(store)
-	sub.Apply(Event{Seq: 1, Key: 0})
-	if store.Resident() != 3 {
-		t.Fatalf("resident = %d after seq 1", store.Resident())
+}
+
+// lossySubscriber forwards hub events to an inner subscriber except the
+// sequence numbers listed in drop — a lossy delivery channel.
+type lossySubscriber struct {
+	inner Subscriber
+	drop  map[uint64]bool
+	acked uint64
+}
+
+func (l *lossySubscriber) Apply(ev Event) uint64 {
+	if l.drop[ev.Seq] {
+		return l.acked
 	}
-	// Seq 3 arrives, 2 was lost: everything must flush.
-	sub.Apply(Event{Seq: 3, Key: 1})
-	if store.Resident() != 0 {
-		t.Fatalf("resident = %d after gap, want 0", store.Resident())
-	}
-	if sub.Flushes() != 1 {
-		t.Fatalf("flushes = %d", sub.Flushes())
+	l.acked = l.inner.Apply(ev)
+	return l.acked
+}
+
+// TestHubGapFlushEndToEnd drives the full hub → subscriber path over a
+// lossy channel for both store backends: a dropped broadcast must surface
+// as a sequence gap at the store subscriber and flush every resident
+// fragment, after which the store keeps working.
+func TestHubGapFlushEndToEnd(t *testing.T) {
+	for name, store := range storeBackends(t, 8) {
+		t.Run(name, func(t *testing.T) {
+			for k := uint32(0); k < 8; k++ {
+				_ = store.Set(k, 1, []byte("frag"))
+			}
+			mon, _ := bem.New(bem.Config{Capacity: 8})
+			hub := NewHub(mon)
+			sub := NewStoreSubscriber(store)
+			hub.Subscribe(&lossySubscriber{inner: sub, drop: map[uint64]bool{2: true}})
+
+			hub.Broadcast("a", 0, 1) // seq 1: applied, drops key 0
+			if got := store.Resident(); got != 7 {
+				t.Fatalf("resident = %d after seq 1, want 7", got)
+			}
+			hub.Broadcast("b", 1, 1) // seq 2: lost in transit
+			if got := store.Resident(); got != 7 {
+				t.Fatalf("resident = %d after lost event, want 7 (nothing delivered)", got)
+			}
+			hub.Broadcast("c", 2, 1) // seq 3: gap detected → full flush
+			if got := store.Resident(); got != 0 {
+				t.Fatalf("resident = %d after gap, want 0 (full flush)", got)
+			}
+			if sub.Flushes() != 1 {
+				t.Fatalf("flushes = %d, want 1", sub.Flushes())
+			}
+			// The subscriber is caught up: in-order events keep applying
+			// without another flush.
+			_ = store.Set(5, 2, []byte("fresh"))
+			hub.Broadcast("d", 5, 2) // seq 4
+			if _, ok := store.Get(5, 2, false); ok {
+				t.Fatal("post-flush invalidation not applied")
+			}
+			if sub.Flushes() != 1 {
+				t.Fatalf("flushes = %d after in-order resume, want 1", sub.Flushes())
+			}
+		})
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"dpcache/internal/bem"
 	"dpcache/internal/dpc"
 	"dpcache/internal/firewall"
+	"dpcache/internal/fragstore"
 	"dpcache/internal/metrics"
 	"dpcache/internal/netsim"
 	"dpcache/internal/origin"
@@ -33,6 +34,23 @@ import (
 	"dpcache/internal/script"
 	"dpcache/internal/tmpl"
 )
+
+// storeConfig maps the config's Store* selection onto fragstore's config.
+// NewSystem has already defaulted Capacity by the time this is called.
+func (c Config) storeConfig() fragstore.Config {
+	return fragstore.Config{
+		Backend:    c.StoreBackend,
+		Capacity:   c.Capacity,
+		Shards:     c.StoreShards,
+		ByteBudget: c.StoreByteBudget,
+		Eviction:   c.StoreEviction,
+	}
+}
+
+// newStore builds one fragment store per proxy.
+func (c Config) newStore() (fragstore.FragmentStore, error) {
+	return fragstore.New(c.storeConfig())
+}
 
 // Mode selects the system configuration under test.
 type Mode int
@@ -64,6 +82,20 @@ type Config struct {
 	Strict bool
 	// ForcedMissProb pins the BEM hit ratio for experiments (Figure 5).
 	ForcedMissProb float64
+	// StoreBackend selects each proxy's fragment store: "slot" (default,
+	// the paper's single-lock array) or "sharded" (per-shard locks, byte
+	// budget, eviction). Every proxy — the reverse proxy and each edge —
+	// gets its own store instance.
+	StoreBackend string
+	// StoreShards is the sharded backend's shard count, rounded up to a
+	// power of two (0 selects the fragstore default).
+	StoreShards int
+	// StoreByteBudget bounds resident fragment bytes per sharded store
+	// (0 = unbounded). Requires StoreEviction.
+	StoreByteBudget int64
+	// StoreEviction is the sharded backend's policy: "none", "lru", or
+	// "gdsf".
+	StoreEviction string
 	// Seed drives all deterministic randomness.
 	Seed int64
 	// Latency is the repository's simulated query/update delay.
@@ -121,6 +153,10 @@ func NewSystem(cfg Config, mode Mode) (*System, error) {
 	}
 	if cfg.Capacity < 0 {
 		return nil, fmt.Errorf("core: negative capacity")
+	}
+	// Fail fast on a bad store selection instead of at Start.
+	if err := cfg.storeConfig().Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Codec == nil {
 		cfg.Codec = tmpl.Binary{}
@@ -193,9 +229,15 @@ func (s *System) Start() error {
 	s.originSrv = &http.Server{Handler: s.Origin}
 	go func() { _ = s.originSrv.Serve(originLn) }()
 
+	store, err := s.cfg.newStore()
+	if err != nil {
+		_ = originLn.Close()
+		return err
+	}
 	proxy, err := dpc.New(dpc.Config{
 		OriginURL: "http://" + originLn.Addr().String(),
 		Capacity:  s.cfg.Capacity,
+		Store:     store,
 		Codec:     s.cfg.Codec,
 		Strict:    s.cfg.Strict,
 		Registry:  s.Registry,
@@ -242,9 +284,14 @@ func (s *System) StartEdge(name string) (Edge, error) {
 	if !s.started {
 		return Edge{}, fmt.Errorf("core: start the system before adding edges")
 	}
+	store, err := s.cfg.newStore()
+	if err != nil {
+		return Edge{}, err
+	}
 	proxy, err := dpc.New(dpc.Config{
 		OriginURL: s.OriginURL(),
 		Capacity:  s.cfg.Capacity,
+		Store:     store,
 		Codec:     s.cfg.Codec,
 		Strict:    s.cfg.Strict,
 		Registry:  s.Registry,

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dpcache/internal/fragstore"
+)
+
+// TestStoreBackendSelection runs the full cached pipeline (origin → BEM →
+// DPC) against every selectable store backend and checks that assembled
+// pages are identical across them: the backend is an implementation
+// detail of the fragment memory, never of the content.
+func TestStoreBackendSelection(t *testing.T) {
+	configs := map[string]Config{
+		"slot-default": {Capacity: 256, Strict: true, Seed: 1},
+		"slot":         {Capacity: 256, Strict: true, Seed: 1, StoreBackend: fragstore.BackendSlot},
+		"sharded":      {Capacity: 256, Strict: true, Seed: 1, StoreBackend: fragstore.BackendSharded, StoreShards: 8},
+		"sharded-lru": {Capacity: 256, Strict: true, Seed: 1, StoreBackend: fragstore.BackendSharded,
+			StoreByteBudget: 1 << 20, StoreEviction: "lru"},
+		"sharded-gdsf": {Capacity: 256, Strict: true, Seed: 1, StoreBackend: fragstore.BackendSharded,
+			StoreByteBudget: 1 << 20, StoreEviction: "gdsf"},
+	}
+	var reference string
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			sys := startSynthetic(t, ModeCached, cfg)
+			// Twice: first fills the store via SETs, second assembles
+			// from resident fragments.
+			fetch(t, sys.FrontURL()+"/page/synth?page=0", "u1")
+			page := fetch(t, sys.FrontURL()+"/page/synth?page=0", "u1")
+			if reference == "" {
+				reference = page
+			} else if page != reference {
+				t.Fatalf("backend %s assembled a different page", name)
+			}
+			st := sys.Proxy.Store().Stats()
+			if st.Resident == 0 || st.Sets == 0 {
+				t.Fatalf("store never populated: %+v", st)
+			}
+		})
+	}
+}
+
+// TestStoreBackendSelectionRejectsBadConfig ensures misconfiguration
+// fails at NewSystem, not at Start.
+func TestStoreBackendSelectionRejectsBadConfig(t *testing.T) {
+	if _, err := NewSystem(Config{StoreBackend: "bogus"}, ModeCached); err == nil {
+		t.Fatal("unknown store backend accepted")
+	}
+	if _, err := NewSystem(Config{StoreBackend: fragstore.BackendSharded,
+		StoreByteBudget: 1024}, ModeCached); err == nil {
+		t.Fatal("byte budget without eviction policy accepted")
+	}
+	_, err := NewSystem(Config{StoreBackend: fragstore.BackendSharded,
+		StoreEviction: "fifo"}, ModeCached)
+	if err == nil || !strings.Contains(err.Error(), "fifo") {
+		t.Fatalf("unknown eviction policy error = %v", err)
+	}
+}
+
+// TestEdgeProxiesGetDistinctStores guards the per-proxy store invariant:
+// edges must not share fragment memory with the reverse proxy (coherency
+// relies on invalidating each edge independently).
+func TestEdgeProxiesGetDistinctStores(t *testing.T) {
+	sys := startSynthetic(t, ModeCached,
+		Config{Capacity: 64, Strict: true, StoreBackend: fragstore.BackendSharded})
+	edge, err := sys.StartEdge("edge-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.Proxy.Store() == sys.Proxy.Store() {
+		t.Fatal("edge shares the reverse proxy's store")
+	}
+	_ = sys.Proxy.Store().Set(1, 1, []byte("main-only"))
+	if _, ok := edge.Proxy.Store().Get(1, 1, false); ok {
+		t.Fatal("edge store sees main proxy's fragments")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"dpcache/internal/fragstore"
 	"dpcache/internal/tmpl"
 )
 
@@ -43,15 +44,16 @@ type AssembleStats struct {
 }
 
 // Assembler splices fragments into page layouts. It is stateless apart
-// from the store reference and safe for concurrent use.
+// from the store reference and safe for concurrent use. It works against
+// any fragstore backend.
 type Assembler struct {
-	store  *Store
+	store  fragstore.FragmentStore
 	codec  tmpl.Codec
 	strict bool
 }
 
 // NewAssembler returns an assembler reading templates in the given codec.
-func NewAssembler(store *Store, codec tmpl.Codec, strict bool) *Assembler {
+func NewAssembler(store fragstore.FragmentStore, codec tmpl.Codec, strict bool) *Assembler {
 	return &Assembler{store: store, codec: codec, strict: strict}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dpcache/internal/clock"
+	"dpcache/internal/fragstore"
 	"dpcache/internal/metrics"
 	"dpcache/internal/tmpl"
 )
@@ -32,8 +33,13 @@ type Config struct {
 	// "http://127.0.0.1:8080". Required.
 	OriginURL string
 	// Capacity is the slot count; it must match (or exceed) the BEM's
-	// configured capacity. Required.
+	// configured capacity. Required unless Store is provided.
 	Capacity int
+	// Store overrides the fragment-store backend. When nil a
+	// paper-faithful slot store of Capacity slots is created; pass a
+	// fragstore.Sharded (or any other FragmentStore) to change the
+	// concurrency and capacity model without touching the proxy.
+	Store fragstore.FragmentStore
 	// Codec must match the origin's template codec; defaults to binary.
 	Codec tmpl.Codec
 	// Strict enables generation checking on GETs plus transparent
@@ -58,7 +64,7 @@ type Config struct {
 // origin, stores fragments, and assembles pages.
 type Proxy struct {
 	cfg    Config
-	store  *Store
+	store  fragstore.FragmentStore
 	asm    *Assembler
 	static *StaticCache // nil when disabled
 	client *http.Client
@@ -73,9 +79,13 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.OriginURL == "" {
 		return nil, fmt.Errorf("dpc: OriginURL is required")
 	}
-	store, err := NewStore(cfg.Capacity)
-	if err != nil {
-		return nil, err
+	store := cfg.Store
+	if store == nil {
+		var err error
+		store, err = NewStore(cfg.Capacity)
+		if err != nil {
+			return nil, err
+		}
 	}
 	codec := cfg.Codec
 	if codec == nil {
@@ -106,9 +116,9 @@ func New(cfg Config) (*Proxy, error) {
 // Static exposes the URL-keyed static-content cache (nil when disabled).
 func (p *Proxy) Static() *StaticCache { return p.static }
 
-// Store exposes the slot store (the coherency extension drops slots
+// Store exposes the fragment store (the coherency extension drops slots
 // through it).
-func (p *Proxy) Store() *Store { return p.store }
+func (p *Proxy) Store() fragstore.FragmentStore { return p.store }
 
 // Registry returns the proxy's metrics registry.
 func (p *Proxy) Registry() *metrics.Registry { return p.reg }
@@ -128,11 +138,14 @@ func (p *Proxy) HandleAdmin(path string, h http.Handler) {
 func (p *Proxy) initAdmin() {
 	p.admin = http.NewServeMux()
 	p.admin.HandleFunc("/_dpc/stats", func(w http.ResponseWriter, _ *http.Request) {
+		st := p.store.Stats()
+		fragstore.Publish(p.reg, "dpc.store", st)
 		out := map[string]any{
 			"metrics":        p.reg.Snapshot(),
-			"slots_resident": p.store.Resident(),
-			"slots_capacity": p.store.Capacity(),
-			"fragment_bytes": p.store.Bytes(),
+			"store":          st,
+			"slots_resident": st.Resident,
+			"slots_capacity": st.Capacity,
+			"fragment_bytes": st.Bytes,
 		}
 		if p.static != nil {
 			hits, misses := p.static.Stats()

@@ -1,113 +1,18 @@
 // Package dpc implements the Dynamic Proxy Cache of Section 4.3.3: a
-// reverse proxy that stores dynamic fragments in an in-memory slot array
-// indexed by dpcKey and assembles pages on demand by following the GET/SET
-// instructions in origin templates.
+// reverse proxy that stores dynamic fragments in an in-memory fragment
+// store indexed by dpcKey and assembles pages on demand by following the
+// GET/SET instructions in origin templates.
 package dpc
 
-import (
-	"fmt"
-	"sync"
-)
+import "dpcache/internal/fragstore"
 
-// Store is the DPC's fragment memory: "an in-memory array of pointers to
-// cached fragments, where the DpcKey serves as the array index" (Section
-// 4.3.3). Slots are written only by SET instructions; invalid slots are
-// never explicitly cleared — their content simply goes unreferenced until
-// a SET reuses the slot, exactly the freeList discipline the BEM enforces.
-type Store struct {
-	mu       sync.RWMutex
-	slots    []slot
-	capacity int
-	bytes    int64
-}
+// Store is the paper-faithful slot-array fragment memory, now implemented
+// by fragstore.SlotStore (see internal/fragstore for the FragmentStore
+// contract and the alternative sharded backend). The alias keeps the
+// original Section 4.3.3 name in this package's API.
+type Store = fragstore.SlotStore
 
-type slot struct {
-	set  bool
-	gen  uint32
-	data []byte
-}
-
-// NewStore returns a store with the given slot capacity.
+// NewStore returns a slot store with the given capacity.
 func NewStore(capacity int) (*Store, error) {
-	if capacity <= 0 {
-		return nil, fmt.Errorf("dpc: store capacity must be positive, got %d", capacity)
-	}
-	return &Store{slots: make([]slot, capacity), capacity: capacity}, nil
-}
-
-// Capacity returns the slot count.
-func (s *Store) Capacity() int { return s.capacity }
-
-// Set stores content into a slot, stamping it with the generation from the
-// SET tag. The content is copied.
-func (s *Store) Set(key uint32, gen uint32, content []byte) error {
-	if int(key) >= s.capacity {
-		return fmt.Errorf("dpc: key %d outside store capacity %d", key, s.capacity)
-	}
-	cp := make([]byte, len(content))
-	copy(cp, content)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sl := &s.slots[key]
-	s.bytes += int64(len(cp)) - int64(len(sl.data))
-	sl.set = true
-	sl.gen = gen
-	sl.data = cp
-	return nil
-}
-
-// Get returns the slot's content. When strict is true the slot generation
-// must equal gen (a mismatch means the slot was reassigned after the
-// template referencing it was produced); when false any set slot matches,
-// which is the paper's original fast path.
-func (s *Store) Get(key uint32, gen uint32, strict bool) ([]byte, bool) {
-	if int(key) >= s.capacity {
-		return nil, false
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sl := &s.slots[key]
-	if !sl.set {
-		return nil, false
-	}
-	if strict && sl.gen != gen {
-		return nil, false
-	}
-	return sl.data, true
-}
-
-// Drop clears a slot (used by the coherency extension when an edge cache
-// must stop serving a fragment immediately rather than waiting for slot
-// reuse).
-func (s *Store) Drop(key uint32) {
-	if int(key) >= s.capacity {
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sl := &s.slots[key]
-	s.bytes -= int64(len(sl.data))
-	sl.set = false
-	sl.data = nil
-	sl.gen = 0
-}
-
-// Bytes returns the total content bytes currently resident.
-func (s *Store) Bytes() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.bytes
-}
-
-// Resident returns the number of set slots.
-func (s *Store) Resident() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n := 0
-	for i := range s.slots {
-		if s.slots[i].set {
-			n++
-		}
-	}
-	return n
+	return fragstore.NewSlotStore(capacity)
 }

@@ -1,0 +1,159 @@
+// Benchmarks comparing the fragment-store backends under parallel load.
+// Run:
+//
+//	go test ./internal/fragstore -bench=. -benchmem -cpu=1,4,8
+//
+// The headline comparison is BenchmarkStoreParallel: the sharded store
+// must match or beat the slot store as parallelism grows, since that is
+// the reason it exists.
+package fragstore_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"dpcache/internal/fragstore"
+)
+
+const (
+	benchCapacity = 4096
+	benchPayload  = 512 // typical fragment size (Table 2's order of magnitude)
+)
+
+// benchBackends enumerates every selectable backend configuration.
+func benchBackends(b *testing.B) map[string]func() fragstore.FragmentStore {
+	b.Helper()
+	mk := func(cfg fragstore.ShardedConfig) func() fragstore.FragmentStore {
+		return func() fragstore.FragmentStore {
+			s, err := fragstore.NewSharded(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}
+	}
+	return map[string]func() fragstore.FragmentStore{
+		"slot": func() fragstore.FragmentStore {
+			s, err := fragstore.NewSlotStore(benchCapacity)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		},
+		"sharded":      mk(fragstore.ShardedConfig{Capacity: benchCapacity}),
+		"sharded-lru":  mk(fragstore.ShardedConfig{Capacity: benchCapacity, ByteBudget: benchCapacity * benchPayload, Policy: fragstore.PolicyLRU}),
+		"sharded-gdsf": mk(fragstore.ShardedConfig{Capacity: benchCapacity, ByteBudget: benchCapacity * benchPayload, Policy: fragstore.PolicyGDSF}),
+	}
+}
+
+func fill(s fragstore.FragmentStore, payload []byte) {
+	for k := uint32(0); k < benchCapacity; k++ {
+		_ = s.Set(k, 1, payload)
+	}
+}
+
+// BenchmarkStoreParallel is the assembly-path mix: ~90% GETs, 10% SETs
+// (the paper's steady state, where most templates reference warm slots),
+// issued from all procs at once via b.RunParallel.
+func BenchmarkStoreParallel(b *testing.B) {
+	payload := make([]byte, benchPayload)
+	for name, mkStore := range benchBackends(b) {
+		b.Run(name, func(b *testing.B) {
+			s := mkStore()
+			fill(s, payload)
+			var seq atomic.Uint32
+			b.SetBytes(benchPayload)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := seq.Add(1) * 2654435761 // decorrelate goroutine key streams
+				for pb.Next() {
+					i++
+					k := i % benchCapacity
+					if i%10 == 0 {
+						_ = s.Set(k, 1, payload)
+					} else {
+						s.Get(k, 1, true)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreParallelGet is the pure read path: every proc hammering
+// warm slots, the best case for the slot store's RWMutex.
+func BenchmarkStoreParallelGet(b *testing.B) {
+	payload := make([]byte, benchPayload)
+	for name, mkStore := range benchBackends(b) {
+		b.Run(name, func(b *testing.B) {
+			s := mkStore()
+			fill(s, payload)
+			var seq atomic.Uint32
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := seq.Add(1) * 2654435761
+				for pb.Next() {
+					i++
+					s.Get(i%benchCapacity, 1, true)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreParallelSet is the write-storm path (cold cache warmup or
+// invalidation recovery): all procs SETting, where the single write lock
+// fully serializes the slot store.
+func BenchmarkStoreParallelSet(b *testing.B) {
+	payload := make([]byte, benchPayload)
+	for name, mkStore := range benchBackends(b) {
+		b.Run(name, func(b *testing.B) {
+			s := mkStore()
+			var seq atomic.Uint32
+			b.SetBytes(benchPayload)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := seq.Add(1) * 2654435761
+				for pb.Next() {
+					i++
+					_ = s.Set(i%benchCapacity, 1, payload)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreEvictionChurn drives the byte-budgeted configurations
+// permanently over budget so every SET evicts: the policy bookkeeping
+// cost, isolated.
+func BenchmarkStoreEvictionChurn(b *testing.B) {
+	payload := make([]byte, benchPayload)
+	for _, pol := range []fragstore.Policy{fragstore.PolicyLRU, fragstore.PolicyGDSF} {
+		b.Run(pol.String(), func(b *testing.B) {
+			s, err := fragstore.NewSharded(fragstore.ShardedConfig{
+				Capacity: benchCapacity,
+				// A quarter of the working set fits, so churn is constant.
+				ByteBudget: benchCapacity * benchPayload / 4,
+				Policy:     pol,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Uint32
+			b.SetBytes(benchPayload)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := seq.Add(1) * 2654435761
+				for pb.Next() {
+					i++
+					k := i % benchCapacity
+					if i%4 == 0 {
+						_ = s.Set(k, 1, payload)
+					} else {
+						s.Get(k, 1, true)
+					}
+				}
+			})
+		})
+	}
+}

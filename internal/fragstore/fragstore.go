@@ -1,0 +1,222 @@
+// Package fragstore defines the Dynamic Proxy Cache's fragment-memory
+// contract and provides swappable backends behind it.
+//
+// The paper's Section 4.3.3 store is "an in-memory array of pointers to
+// cached fragments, where the DpcKey serves as the array index", guarded in
+// the seed implementation by a single RWMutex. That design is faithful but
+// caps concurrency (every SET serializes on one lock) and supports exactly
+// one capacity model (slot count, no byte bound). This package splits the
+// contract from the implementation so the proxy, assembler, and coherency
+// subscribers can run against either:
+//
+//   - SlotStore: the paper-faithful single-lock slot array, extracted
+//     unchanged in behavior from internal/dpc.
+//   - Sharded: a power-of-two-sharded store with per-shard locks, an
+//     optional byte budget, and pluggable eviction (LRU or cost-aware
+//     GDSF) for deployments where fragment bytes — not the BEM freeList —
+//     are the binding resource.
+//
+// Both backends satisfy the same conformance suite (see storetest).
+package fragstore
+
+import (
+	"fmt"
+	"strings"
+
+	"dpcache/internal/metrics"
+)
+
+// FragmentStore is the fragment memory contract shared by the assembler
+// (SET/GET instructions), the proxy (stats), and the coherency extension
+// (Drop/DropAll). Implementations must be safe for concurrent use.
+//
+// Content returned by Get is shared with the store; callers must not
+// modify it. Set copies its input.
+type FragmentStore interface {
+	// Set stores content under key, stamping it with the generation from
+	// the SET tag. Keys at or beyond Capacity are rejected with an error.
+	Set(key, gen uint32, content []byte) error
+	// Get returns the content stored under key. When strict is true the
+	// stored generation must equal gen (a mismatch means the slot was
+	// reassigned after the template referencing it was produced); when
+	// false any resident entry matches — the paper's original fast path.
+	Get(key, gen uint32, strict bool) ([]byte, bool)
+	// Drop removes the entry under key immediately (coherency
+	// invalidation) rather than waiting for slot reuse. Unknown and
+	// out-of-range keys are no-ops.
+	Drop(key uint32)
+	// DropAll removes every resident entry (the coherency subscriber's
+	// gap-detection full flush).
+	DropAll()
+	// Capacity returns the key-space size (the BEM's slot count).
+	Capacity() int
+	// Bytes returns the total content bytes currently resident.
+	Bytes() int64
+	// Resident returns the number of resident entries.
+	Resident() int
+	// Stats returns a point-in-time snapshot of store activity.
+	Stats() Stats
+}
+
+// Stats is a point-in-time snapshot of a store's occupancy and activity.
+type Stats struct {
+	// Backend names the implementation ("slot", "sharded").
+	Backend string `json:"backend"`
+	// Shards is the shard count (1 for the slot store).
+	Shards int `json:"shards"`
+	// Capacity is the key-space size.
+	Capacity int `json:"capacity"`
+	// Resident is the number of entries currently stored.
+	Resident int `json:"resident"`
+	// Bytes is the total resident content size.
+	Bytes int64 `json:"bytes"`
+	// ByteBudget is the configured byte bound (0 = unbounded).
+	ByteBudget int64 `json:"byte_budget"`
+	// Sets, Hits, Misses, Drops count store operations since creation.
+	Sets   int64 `json:"sets"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Drops  int64 `json:"drops"`
+	// Evictions counts entries removed by the eviction policy (not by
+	// Drop), and EvictedBytes their cumulative size.
+	Evictions    int64 `json:"evictions"`
+	EvictedBytes int64 `json:"evicted_bytes"`
+}
+
+// Publish copies a stats snapshot into registry gauges under prefix
+// (e.g. "dpc.store"), so store occupancy and eviction activity appear in
+// metrics snapshots alongside the proxy's counters.
+func Publish(reg *metrics.Registry, prefix string, st Stats) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(prefix + ".capacity").Set(int64(st.Capacity))
+	reg.Gauge(prefix + ".resident").Set(int64(st.Resident))
+	reg.Gauge(prefix + ".bytes").Set(st.Bytes)
+	reg.Gauge(prefix + ".byte_budget").Set(st.ByteBudget)
+	reg.Gauge(prefix + ".shards").Set(int64(st.Shards))
+	reg.Gauge(prefix + ".sets").Set(st.Sets)
+	reg.Gauge(prefix + ".hits").Set(st.Hits)
+	reg.Gauge(prefix + ".misses").Set(st.Misses)
+	reg.Gauge(prefix + ".drops").Set(st.Drops)
+	reg.Gauge(prefix + ".evictions").Set(st.Evictions)
+	reg.Gauge(prefix + ".evicted_bytes").Set(st.EvictedBytes)
+}
+
+// Backend names.
+const (
+	// BackendSlot is the paper-faithful single-lock slot array.
+	BackendSlot = "slot"
+	// BackendSharded is the sharded, byte-budgeted store.
+	BackendSharded = "sharded"
+)
+
+// Config selects and parameterizes a backend from plain values, the shape
+// carried by core.Config and command-line flags.
+type Config struct {
+	// Backend is "slot" (default) or "sharded".
+	Backend string
+	// Capacity is the key-space size shared with the BEM. Required.
+	Capacity int
+	// Shards is the sharded backend's shard count, rounded up to a power
+	// of two (0 selects DefaultShards). The slot backend rejects a
+	// non-zero value.
+	Shards int
+	// ByteBudget bounds resident content bytes in the sharded backend
+	// (0 = unbounded). Requires an eviction policy. The slot backend
+	// rejects a non-zero value.
+	ByteBudget int64
+	// Eviction is "none" (default), "lru", or "gdsf". The slot backend
+	// rejects any other value.
+	Eviction string
+}
+
+// Validate reports whether the configuration selects a buildable backend,
+// without allocating one (NewSystem-style fail-fast checks).
+func (c Config) Validate() error {
+	switch c.Backend {
+	case "", BackendSlot:
+		if c.Capacity <= 0 {
+			return fmt.Errorf("fragstore: store capacity must be positive, got %d", c.Capacity)
+		}
+		if c.ByteBudget != 0 || c.Shards != 0 || (c.Eviction != "" && c.Eviction != "none") {
+			return fmt.Errorf("fragstore: slot backend supports neither sharding, byte budgets, nor eviction (got shards=%d budget=%d eviction=%q)",
+				c.Shards, c.ByteBudget, c.Eviction)
+		}
+		return nil
+	case BackendSharded:
+		pol, err := ParsePolicy(c.Eviction)
+		if err != nil {
+			return err
+		}
+		return ShardedConfig{
+			Capacity:   c.Capacity,
+			Shards:     c.Shards,
+			ByteBudget: c.ByteBudget,
+			Policy:     pol,
+		}.validate()
+	default:
+		return fmt.Errorf("fragstore: unknown backend %q (want %q or %q)", c.Backend, BackendSlot, BackendSharded)
+	}
+}
+
+// New builds the configured backend.
+func New(cfg Config) (FragmentStore, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Backend == BackendSharded {
+		pol, _ := ParsePolicy(cfg.Eviction) // validated above
+		return NewSharded(ShardedConfig{
+			Capacity:   cfg.Capacity,
+			Shards:     cfg.Shards,
+			ByteBudget: cfg.ByteBudget,
+			Policy:     pol,
+		})
+	}
+	return NewSlotStore(cfg.Capacity)
+}
+
+// Policy selects the sharded store's eviction strategy.
+type Policy int
+
+// Eviction policies.
+const (
+	// PolicyNone performs no eviction: entries are replaced only by slot
+	// reuse, the paper's freeList discipline. Incompatible with a byte
+	// budget.
+	PolicyNone Policy = iota
+	// PolicyLRU evicts the least-recently-used entry when the shard
+	// exceeds its byte budget.
+	PolicyLRU
+	// PolicyGDSF evicts by Greedy-Dual-Size-Frequency priority
+	// (frequency/size with aging), preferring to keep small, hot
+	// fragments when the byte budget is tight.
+	PolicyGDSF
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicyGDSF:
+		return "gdsf"
+	default:
+		return "none"
+	}
+}
+
+// ParsePolicy maps a policy name ("", "none", "lru", "gdsf") to a Policy.
+func ParsePolicy(name string) (Policy, error) {
+	switch strings.ToLower(name) {
+	case "", "none":
+		return PolicyNone, nil
+	case "lru":
+		return PolicyLRU, nil
+	case "gdsf":
+		return PolicyGDSF, nil
+	default:
+		return PolicyNone, fmt.Errorf("fragstore: unknown eviction policy %q (want none, lru, or gdsf)", name)
+	}
+}

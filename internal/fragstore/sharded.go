@@ -1,0 +1,397 @@
+package fragstore
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count used when ShardedConfig.Shards is zero.
+const DefaultShards = 16
+
+// maxShards bounds the shard count (beyond this, per-shard fixed overhead
+// dominates any contention win).
+const maxShards = 1024
+
+// ShardedConfig parameterizes a Sharded store.
+type ShardedConfig struct {
+	// Capacity is the key-space size shared with the BEM. Required.
+	Capacity int
+	// Shards is rounded up to a power of two; 0 selects DefaultShards.
+	Shards int
+	// ByteBudget bounds total resident content bytes (0 = unbounded).
+	// The budget is partitioned evenly across shards, so a pathological
+	// key distribution can evict before the global total is reached.
+	// Requires Policy != PolicyNone.
+	ByteBudget int64
+	// Policy selects the eviction strategy applied when a shard exceeds
+	// its share of the byte budget.
+	Policy Policy
+}
+
+// Sharded is a fragment store split into power-of-two shards: key k lives
+// in shard k&mask at local index k>>shardBits, so like the paper's slot
+// array it is still array-indexed — only the lock is per shard. SETs
+// against different shards never contend, which is what lets it match or
+// beat the single-lock SlotStore under parallel load. Each shard
+// optionally enforces a byte budget with LRU or GDSF eviction, giving the
+// DPC a capacity model the freeList-governed slot array cannot express
+// (bound resident bytes, not slot count).
+type Sharded struct {
+	shards    []shard
+	mask      uint32
+	shardBits uint32
+	capacity  int
+	cfg       ShardedConfig
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	slots    []entry // local index = key >> shardBits
+	bytes    int64
+	resident int
+	budget   int64 // per-shard share of ByteBudget; 0 = unbounded
+	policy   Policy
+
+	// LRU state: front = most recent; values are *entry.
+	lru *list.List
+	// GDSF state: min-heap by priority plus the aging term L, raised to
+	// the priority of each evicted entry so long-resident entries decay
+	// relative to fresh ones.
+	heap      gdsfHeap
+	inflation float64
+
+	evictions    int64
+	evictedBytes int64
+
+	// Op counters are atomic so PolicyNone GETs stay read-locked.
+	sets, hits, misses, drops atomic.Int64
+
+	_ [24]byte // keep neighboring shards' hot fields off one cache line
+}
+
+type entry struct {
+	key  uint32
+	gen  uint32
+	set  bool
+	data []byte
+
+	elem *list.Element // LRU handle (nil unless resident under PolicyLRU)
+	freq int64         // GDSF access count
+	prio float64       // GDSF priority
+	hidx int           // GDSF heap index
+}
+
+// validate checks the configuration without allocating the store.
+func (cfg ShardedConfig) validate() error {
+	if cfg.Capacity <= 0 {
+		return fmt.Errorf("fragstore: store capacity must be positive, got %d", cfg.Capacity)
+	}
+	if cfg.ByteBudget < 0 {
+		return fmt.Errorf("fragstore: negative byte budget %d", cfg.ByteBudget)
+	}
+	if cfg.ByteBudget > 0 && cfg.Policy == PolicyNone {
+		return fmt.Errorf("fragstore: a byte budget requires an eviction policy (lru or gdsf)")
+	}
+	return nil
+}
+
+// NewSharded returns a sharded store.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	n = nextPow2(n)
+	s := &Sharded{
+		shards:    make([]shard, n),
+		mask:      uint32(n - 1),
+		shardBits: uint32(bits.TrailingZeros(uint(n))),
+		capacity:  cfg.Capacity,
+		cfg:       cfg,
+	}
+	var perShard int64
+	if cfg.ByteBudget > 0 {
+		perShard = (cfg.ByteBudget + int64(n) - 1) / int64(n)
+	}
+	perShardSlots := (cfg.Capacity + n - 1) / n
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.slots = make([]entry, perShardSlots)
+		sh.budget = perShard
+		sh.policy = cfg.Policy
+		if cfg.Policy == PolicyLRU {
+			sh.lru = list.New()
+		}
+	}
+	return s, nil
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Shards returns the actual (power-of-two) shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Capacity returns the key-space size.
+func (s *Sharded) Capacity() int { return s.capacity }
+
+// locate returns the shard and entry owning key (key must be < capacity).
+func (s *Sharded) locate(key uint32) (*shard, *entry) {
+	sh := &s.shards[key&s.mask]
+	return sh, &sh.slots[key>>s.shardBits]
+}
+
+// Set stores content under key; see FragmentStore.Set. When the shard's
+// byte budget is exceeded the policy evicts coldest-first until the shard
+// fits again (the incoming entry itself is evictable, matching the
+// "don't admit what you'd immediately evict" behavior of size-aware
+// caches).
+func (s *Sharded) Set(key, gen uint32, content []byte) error {
+	if int64(key) >= int64(s.capacity) {
+		return fmt.Errorf("fragstore: key %d outside store capacity %d", key, s.capacity)
+	}
+	cp := make([]byte, len(content))
+	copy(cp, content)
+	sh, e := s.locate(key)
+	sh.sets.Add(1)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e.set {
+		sh.bytes += int64(len(cp)) - int64(len(e.data))
+		e.data = cp
+		e.gen = gen
+		sh.touch(e)
+	} else {
+		e.key = key
+		e.gen = gen
+		e.data = cp
+		e.set = true
+		sh.bytes += int64(len(cp))
+		sh.resident++
+		sh.admit(e)
+	}
+	if sh.budget > 0 {
+		for sh.bytes > sh.budget && sh.resident > 0 {
+			sh.evictOne()
+		}
+	}
+	return nil
+}
+
+// Get returns the content under key; see FragmentStore.Get for strict.
+// Hits refresh the entry's recency (LRU) or frequency (GDSF); with
+// PolicyNone reads take only the shard's read lock.
+func (s *Sharded) Get(key, gen uint32, strict bool) ([]byte, bool) {
+	if int64(key) >= int64(s.capacity) {
+		s.shards[key&s.mask].misses.Add(1)
+		return nil, false
+	}
+	sh, e := s.locate(key)
+	if sh.policy == PolicyNone {
+		sh.mu.RLock()
+		if !e.set || (strict && e.gen != gen) {
+			sh.mu.RUnlock()
+			sh.misses.Add(1)
+			return nil, false
+		}
+		data := e.data
+		sh.mu.RUnlock()
+		sh.hits.Add(1)
+		return data, true
+	}
+	sh.mu.Lock()
+	if !e.set || (strict && e.gen != gen) {
+		sh.mu.Unlock()
+		sh.misses.Add(1)
+		return nil, false
+	}
+	sh.touch(e)
+	data := e.data
+	sh.mu.Unlock()
+	sh.hits.Add(1)
+	return data, true
+}
+
+// Drop removes the entry under key.
+func (s *Sharded) Drop(key uint32) {
+	if int64(key) >= int64(s.capacity) {
+		return
+	}
+	sh, e := s.locate(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !e.set {
+		return
+	}
+	sh.remove(e)
+	sh.drops.Add(1)
+}
+
+// DropAll removes every resident entry.
+func (s *Sharded) DropAll() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.drops.Add(int64(sh.resident))
+		for j := range sh.slots {
+			sh.slots[j] = entry{}
+		}
+		sh.bytes = 0
+		sh.resident = 0
+		if sh.lru != nil {
+			sh.lru.Init()
+		}
+		sh.heap = sh.heap[:0]
+		sh.mu.Unlock()
+	}
+}
+
+// Bytes returns the total resident content bytes across shards.
+func (s *Sharded) Bytes() int64 {
+	var n int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.bytes
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Resident returns the number of resident entries across shards.
+func (s *Sharded) Resident() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.resident
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats implements FragmentStore.
+func (s *Sharded) Stats() Stats {
+	st := Stats{
+		Backend:    BackendSharded,
+		Shards:     len(s.shards),
+		Capacity:   s.capacity,
+		ByteBudget: s.cfg.ByteBudget,
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.Resident += sh.resident
+		st.Bytes += sh.bytes
+		st.Evictions += sh.evictions
+		st.EvictedBytes += sh.evictedBytes
+		sh.mu.RUnlock()
+		st.Sets += sh.sets.Load()
+		st.Hits += sh.hits.Load()
+		st.Misses += sh.misses.Load()
+		st.Drops += sh.drops.Load()
+	}
+	return st
+}
+
+// --- per-shard policy plumbing (shard.mu held throughout) ---
+
+// admit registers a newly resident entry with the eviction policy.
+func (sh *shard) admit(e *entry) {
+	switch sh.policy {
+	case PolicyLRU:
+		e.elem = sh.lru.PushFront(e)
+	case PolicyGDSF:
+		e.freq = 1
+		e.prio = sh.inflation + gdsfValue(e)
+		heap.Push(&sh.heap, e)
+	}
+}
+
+// touch refreshes an entry on access (a hit, or a SET overwrite — which
+// may also have resized e.data, so the GDSF priority is recomputed).
+func (sh *shard) touch(e *entry) {
+	switch sh.policy {
+	case PolicyLRU:
+		sh.lru.MoveToFront(e.elem)
+	case PolicyGDSF:
+		e.freq++
+		e.prio = sh.inflation + gdsfValue(e)
+		heap.Fix(&sh.heap, e.hidx)
+	}
+}
+
+// remove clears a resident entry and detaches it from policy structures.
+func (sh *shard) remove(e *entry) {
+	sh.bytes -= int64(len(e.data))
+	sh.resident--
+	switch sh.policy {
+	case PolicyLRU:
+		sh.lru.Remove(e.elem)
+	case PolicyGDSF:
+		heap.Remove(&sh.heap, e.hidx)
+	}
+	*e = entry{}
+}
+
+// evictOne removes the policy's coldest entry.
+func (sh *shard) evictOne() {
+	var victim *entry
+	switch sh.policy {
+	case PolicyLRU:
+		victim = sh.lru.Back().Value.(*entry)
+	case PolicyGDSF:
+		victim = sh.heap[0]
+		// Age the shard: future priorities start from the evicted
+		// entry's, so stale-but-once-hot entries eventually lose to
+		// fresh ones. This is the "L" term of GDSF.
+		sh.inflation = victim.prio
+	default:
+		return
+	}
+	size := int64(len(victim.data))
+	sh.remove(victim)
+	sh.evictions++
+	sh.evictedBytes += size
+}
+
+// gdsfValue is the unaged GDSF priority term frequency·cost/size with unit
+// cost: keeping a fragment is worth more the hotter and smaller it is.
+func gdsfValue(e *entry) float64 {
+	size := len(e.data)
+	if size < 1 {
+		size = 1
+	}
+	return float64(e.freq) / float64(size)
+}
+
+// gdsfHeap is a min-heap of entries by priority.
+type gdsfHeap []*entry
+
+func (h gdsfHeap) Len() int           { return len(h) }
+func (h gdsfHeap) Less(i, j int) bool { return h[i].prio < h[j].prio }
+func (h gdsfHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].hidx = i; h[j].hidx = j }
+func (h *gdsfHeap) Push(x any)        { e := x.(*entry); e.hidx = len(*h); *h = append(*h, e) }
+func (h *gdsfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

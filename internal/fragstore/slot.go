@@ -1,0 +1,148 @@
+package fragstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// SlotStore is the paper-faithful fragment memory of Section 4.3.3: "an
+// in-memory array of pointers to cached fragments, where the DpcKey serves
+// as the array index", guarded by one RWMutex. Slots are written only by
+// SET instructions; invalid slots are never explicitly cleared — their
+// content simply goes unreferenced until a SET reuses the slot, exactly
+// the freeList discipline the BEM enforces. (Drop exists for the
+// coherency extension, which must stop serving a fragment immediately.)
+type SlotStore struct {
+	mu       sync.RWMutex
+	slots    []slot
+	capacity int
+	bytes    int64
+	resident int
+
+	sets   atomic.Int64
+	hits   atomic.Int64
+	misses atomic.Int64
+	drops  atomic.Int64
+}
+
+type slot struct {
+	set  bool
+	gen  uint32
+	data []byte
+}
+
+// NewSlotStore returns a store with the given slot capacity.
+func NewSlotStore(capacity int) (*SlotStore, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("fragstore: store capacity must be positive, got %d", capacity)
+	}
+	return &SlotStore{slots: make([]slot, capacity), capacity: capacity}, nil
+}
+
+// Capacity returns the slot count.
+func (s *SlotStore) Capacity() int { return s.capacity }
+
+// Set stores content into a slot, stamping it with the generation from the
+// SET tag. The content is copied.
+func (s *SlotStore) Set(key, gen uint32, content []byte) error {
+	if int64(key) >= int64(s.capacity) {
+		return fmt.Errorf("fragstore: key %d outside store capacity %d", key, s.capacity)
+	}
+	cp := make([]byte, len(content))
+	copy(cp, content)
+	s.sets.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl := &s.slots[key]
+	if !sl.set {
+		s.resident++
+	}
+	s.bytes += int64(len(cp)) - int64(len(sl.data))
+	sl.set = true
+	sl.gen = gen
+	sl.data = cp
+	return nil
+}
+
+// Get returns the slot's content; see FragmentStore.Get for strict.
+func (s *SlotStore) Get(key, gen uint32, strict bool) ([]byte, bool) {
+	if int64(key) >= int64(s.capacity) {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.mu.RLock()
+	sl := &s.slots[key]
+	if !sl.set || (strict && sl.gen != gen) {
+		s.mu.RUnlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	data := sl.data
+	s.mu.RUnlock()
+	s.hits.Add(1)
+	return data, true
+}
+
+// Drop clears a slot.
+func (s *SlotStore) Drop(key uint32) {
+	if int64(key) >= int64(s.capacity) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl := &s.slots[key]
+	if sl.set {
+		s.resident--
+		s.drops.Add(1)
+	}
+	s.bytes -= int64(len(sl.data))
+	sl.set = false
+	sl.data = nil
+	sl.gen = 0
+}
+
+// DropAll clears every slot.
+func (s *SlotStore) DropAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.slots {
+		if s.slots[i].set {
+			s.drops.Add(1)
+		}
+		s.slots[i] = slot{}
+	}
+	s.bytes = 0
+	s.resident = 0
+}
+
+// Bytes returns the total content bytes currently resident.
+func (s *SlotStore) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Resident returns the number of set slots.
+func (s *SlotStore) Resident() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.resident
+}
+
+// Stats implements FragmentStore.
+func (s *SlotStore) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Backend:  BackendSlot,
+		Shards:   1,
+		Capacity: s.capacity,
+		Resident: s.resident,
+		Bytes:    s.bytes,
+		Sets:     s.sets.Load(),
+		Hits:     s.hits.Load(),
+		Misses:   s.misses.Load(),
+		Drops:    s.drops.Load(),
+	}
+}

@@ -51,7 +51,7 @@ func BuildBrokerage(repo *repository.Repo) *script.Script {
 			t := c.Param("ticker", "IBM")
 			h1 := c.Field("news", t, "h1", "")
 			h2 := c.Field("news", t, "h2", "")
-			_, err := fmt.Fprintf(w, padTo(fmt.Sprintf(`<ul class="news"><li>%s</li><li>%s</li></ul>`, h1, h2), 600))
+			_, err := io.WriteString(w, padTo(fmt.Sprintf(`<ul class="news"><li>%s</li><li>%s</li></ul>`, h1, h2), 600))
 			return err
 		})
 
@@ -61,7 +61,7 @@ func BuildBrokerage(repo *repository.Repo) *script.Script {
 			t := c.Param("ticker", "IBM")
 			pe := c.Field("research", t, "pe", "")
 			hi := c.Field("research", t, "high52", "")
-			_, err := fmt.Fprintf(w, padTo(fmt.Sprintf(
+			_, err := io.WriteString(w, padTo(fmt.Sprintf(
 				`<table class="hist"><tr><td>P/E</td><td>%s</td></tr><tr><td>52wk high</td><td>%s</td></tr></table>`, pe, hi), 900))
 			return err
 		})
