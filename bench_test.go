@@ -173,3 +173,50 @@ func BenchmarkStoreBackendEndToEnd(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAssembleStreaming compares buffered vs streaming assembly on
+// the full request path: with -stream the proxy writes pages as templates
+// decode (no full-page buffer), so per-request allocations stop scaling
+// with page size. The raw assembler-level comparison lives in
+// internal/dpc (BenchmarkAssembleStreamingVsBuffered).
+func BenchmarkAssembleStreaming(b *testing.B) {
+	for _, stream := range []bool{false, true} {
+		name := "buffered"
+		if stream {
+			name = "streaming"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := dpcache.SystemConfig{Capacity: 256, Strict: true, Seed: 1, Stream: stream}
+			fetch, done := startBenchSystem(b, cfg, "binary")
+			defer done()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fetch(i % 10)
+			}
+		})
+	}
+}
+
+// BenchmarkCoalescedStorm drives concurrent identical requests with
+// single-flight coalescing on vs off; with -coalesce the origin sees one
+// fetch per storm instead of one per client.
+func BenchmarkCoalescedStorm(b *testing.B) {
+	for _, coalesce := range []bool{false, true} {
+		name := "fanout"
+		if coalesce {
+			name = "coalesced"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := dpcache.SystemConfig{Capacity: 256, Strict: true, Seed: 1, Coalesce: coalesce}
+			fetch, done := startBenchSystem(b, cfg, "binary")
+			defer done()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					fetch(0) // every goroutine hammers the same page
+				}
+			})
+		})
+	}
+}

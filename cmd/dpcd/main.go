@@ -9,8 +9,17 @@
 //
 //	dpcd -store sharded -shards 32 -store-budget 67108864 -evict gdsf
 //
+// The request path is a staged pipeline (admin, static-cache, coalesce,
+// origin-fetch, assemble, stale-fallback, respond) with per-stage latency
+// histograms served from /_dpc/stats. Single-flight coalescing of identical
+// in-flight origin fetches (-coalesce) and streaming assembly (-stream,
+// with a strict-mode look-ahead spool sized by -spool) are on by default:
+//
+//	dpcd -coalesce=false -stream=false   # paper-faithful buffered path
+//
 // Store occupancy, byte, and eviction metrics are served from
-// /_dpc/stats and, with -status, logged periodically.
+// /_dpc/stats, refreshed in the background every -publish interval and,
+// with -status, logged periodically.
 package main
 
 import (
@@ -35,6 +44,10 @@ func main() {
 	shards := flag.Int("shards", 0, "sharded store: shard count, rounded to a power of two (0 = default)")
 	budget := flag.Int64("store-budget", 0, "sharded store: resident fragment byte budget (0 = unbounded)")
 	evict := flag.String("evict", "none", "sharded store: eviction policy when over budget: none, lru, or gdsf")
+	coalesce := flag.Bool("coalesce", true, "collapse concurrent identical origin fetches into one (single-flight)")
+	stream := flag.Bool("stream", true, "stream assembled pages to clients instead of buffering whole pages")
+	spool := flag.Int("spool", 0, "strict-mode streaming look-ahead spool in bytes (0 = 64KiB default)")
+	publishEvery := flag.Duration("publish", 10*time.Second, "background dpc.store.* gauge refresh interval (0 = disabled)")
 	statusEvery := flag.Duration("status", 0, "log store status at this interval (0 = disabled)")
 	flag.Parse()
 
@@ -52,19 +65,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	publish := *publishEvery
+	if publish <= 0 {
+		publish = -1 // dpc: negative disables the background publisher
+	}
 	proxy, err := dpc.New(dpc.Config{
-		OriginURL: *originURL,
-		Capacity:  *capacity,
-		Store:     store,
-		Codec:     codec,
-		Strict:    *strict,
+		OriginURL:        *originURL,
+		Capacity:         *capacity,
+		Store:            store,
+		Codec:            codec,
+		Strict:           *strict,
+		Coalesce:         *coalesce,
+		Stream:           *stream,
+		StreamSpoolBytes: *spool,
+		PublishInterval:  publish,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	st := store.Stats()
-	fmt.Printf("dpcd: proxying %s on %s (capacity %d, %s codec, strict=%v)\n",
-		*originURL, *addr, *capacity, codec.Name(), *strict)
+	fmt.Printf("dpcd: proxying %s on %s (capacity %d, %s codec, strict=%v, coalesce=%v, stream=%v)\n",
+		*originURL, *addr, *capacity, codec.Name(), *strict, *coalesce, *stream)
 	fmt.Printf("dpcd: %s store, %d shard(s), byte budget %d, eviction %s; status at http://%s/_dpc/stats\n",
 		st.Backend, st.Shards, st.ByteBudget, *evict, *addr)
 	if *statusEvery > 0 {

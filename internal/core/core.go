@@ -96,6 +96,19 @@ type Config struct {
 	// StoreEviction is the sharded backend's policy: "none", "lru", or
 	// "gdsf".
 	StoreEviction string
+	// Coalesce collapses concurrent identical in-flight origin fetches at
+	// each proxy into a single origin request (single-flight, keyed by
+	// method, URL, and session identity).
+	Coalesce bool
+	// Stream enables streaming assembly at each proxy: pages are written
+	// to the client as templates decode instead of being buffered whole.
+	Stream bool
+	// StreamSpoolBytes bounds the strict-mode look-ahead spool used by
+	// streaming assembly (0 selects the dpc default, 64 KiB).
+	StreamSpoolBytes int
+	// PublishInterval is each proxy's background store-stats publish
+	// period (0 selects the dpc default of 10s; negative disables).
+	PublishInterval time.Duration
 	// Seed drives all deterministic randomness.
 	Seed int64
 	// Latency is the repository's simulated query/update delay.
@@ -126,13 +139,30 @@ type System struct {
 	// Registry aggregates metrics across components.
 	Registry *metrics.Registry
 
-	cfg       Config
-	originLn  net.Listener
-	proxyLn   net.Listener
-	originSrv *http.Server
-	proxySrv  *http.Server
-	edges     []*http.Server
-	started   bool
+	cfg         Config
+	originLn    net.Listener
+	proxyLn     net.Listener
+	originSrv   *http.Server
+	proxySrv    *http.Server
+	edges       []*http.Server
+	edgeProxies []*dpc.Proxy
+	started     bool
+}
+
+// proxyConfig translates the system config into one proxy's config.
+func (c Config) proxyConfig(originURL string, store fragstore.FragmentStore, reg *metrics.Registry) dpc.Config {
+	return dpc.Config{
+		OriginURL:        originURL,
+		Capacity:         c.Capacity,
+		Store:            store,
+		Codec:            c.Codec,
+		Strict:           c.Strict,
+		Coalesce:         c.Coalesce,
+		Stream:           c.Stream,
+		StreamSpoolBytes: c.StreamSpoolBytes,
+		PublishInterval:  c.PublishInterval,
+		Registry:         reg,
+	}
 }
 
 // Edge is an additional forward-deployed DPC created by StartEdge.
@@ -234,14 +264,7 @@ func (s *System) Start() error {
 		_ = originLn.Close()
 		return err
 	}
-	proxy, err := dpc.New(dpc.Config{
-		OriginURL: "http://" + originLn.Addr().String(),
-		Capacity:  s.cfg.Capacity,
-		Store:     store,
-		Codec:     s.cfg.Codec,
-		Strict:    s.cfg.Strict,
-		Registry:  s.Registry,
-	})
+	proxy, err := dpc.New(s.cfg.proxyConfig("http://"+originLn.Addr().String(), store, s.Registry))
 	if err != nil {
 		_ = originLn.Close()
 		return err
@@ -249,6 +272,7 @@ func (s *System) Start() error {
 	s.Proxy = proxy
 	proxyLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		_ = proxy.Close()
 		_ = originLn.Close()
 		return err
 	}
@@ -288,28 +312,23 @@ func (s *System) StartEdge(name string) (Edge, error) {
 	if err != nil {
 		return Edge{}, err
 	}
-	proxy, err := dpc.New(dpc.Config{
-		OriginURL: s.OriginURL(),
-		Capacity:  s.cfg.Capacity,
-		Store:     store,
-		Codec:     s.cfg.Codec,
-		Strict:    s.cfg.Strict,
-		Registry:  s.Registry,
-	})
+	proxy, err := dpc.New(s.cfg.proxyConfig(s.OriginURL(), store, s.Registry))
 	if err != nil {
 		return Edge{}, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		_ = proxy.Close()
 		return Edge{}, err
 	}
 	srv := &http.Server{Handler: proxy}
 	s.edges = append(s.edges, srv)
+	s.edgeProxies = append(s.edgeProxies, proxy)
 	go func() { _ = srv.Serve(ln) }()
 	return Edge{Name: name, Proxy: proxy, URL: "http://" + ln.Addr().String()}, nil
 }
 
-// Close shuts both servers down.
+// Close shuts both servers down, stopping each proxy's background work.
 func (s *System) Close() error {
 	var first error
 	srvs := append([]*http.Server{s.proxySrv, s.originSrv}, s.edges...)
@@ -319,6 +338,11 @@ func (s *System) Close() error {
 			if err := srv.Close(); err != nil && first == nil {
 				first = err
 			}
+		}
+	}
+	for _, p := range append([]*dpc.Proxy{s.Proxy}, s.edgeProxies...) {
+		if p != nil {
+			_ = p.Close()
 		}
 	}
 	// Give in-flight handlers a beat to unwind before listeners vanish

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The pipeline knobs must thread from SystemConfig through to the proxy:
+// a streaming+coalescing system serves pages byte-identical to the
+// buffered system's, cold and warm.
+func TestStreamingSystemServesIdenticalPages(t *testing.T) {
+	buffered := startSynthetic(t, ModeCached, Config{Capacity: 256, Strict: true, Seed: 1})
+	streaming := startSynthetic(t, ModeCached, Config{
+		Capacity: 256, Strict: true, Seed: 1,
+		Stream: true, Coalesce: true,
+	})
+	for i := 0; i < 3; i++ { // cold (SETs), warm (GETs), warm again
+		for page := 0; page < 4; page++ {
+			url := "/page/synth?page=" + string(rune('0'+page))
+			want := fetch(t, buffered.FrontURL()+url, "u1")
+			got := fetch(t, streaming.FrontURL()+url, "u1")
+			if want != got {
+				t.Fatalf("round %d page %d: streaming page diverged from buffered\nbuffered:  %q\nstreaming: %q",
+					i, page, want, got)
+			}
+		}
+	}
+	if streaming.Registry.Counter("dpc.streamed").Value() == 0 {
+		t.Fatal("streaming system never streamed a page")
+	}
+}
+
+// A concurrent burst of identical requests against a coalescing system
+// must serve everyone the same intact page.
+func TestCoalescingSystemSurvivesStorm(t *testing.T) {
+	sys := startSynthetic(t, ModeCached, Config{Capacity: 256, Seed: 1, Coalesce: true})
+	want := fetch(t, sys.FrontURL()+"/page/synth?page=0", "u1")
+	var wg sync.WaitGroup
+	pages := make([]string, 16)
+	for i := range pages {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pages[i] = fetch(t, sys.FrontURL()+"/page/synth?page=0", "u1")
+		}(i)
+	}
+	wg.Wait()
+	for i, page := range pages {
+		if page != want {
+			t.Fatalf("storm response %d diverged: %q != %q", i, page, want)
+		}
+	}
+}
+
+// Each proxy's background store publisher must refresh dpc.store.* gauges
+// and be stopped by System.Close.
+func TestSystemPublishesStoreGauges(t *testing.T) {
+	sys := startSynthetic(t, ModeCached, Config{
+		Capacity: 256, Seed: 1, PublishInterval: 5 * time.Millisecond,
+	})
+	fetch(t, sys.FrontURL()+"/page/synth?page=0", "u1") // populate the store
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.Registry.Gauge("dpc.store.resident").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dpc.store.resident never refreshed without a stats scrape")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -75,7 +75,9 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // On stale GETs, assembly keeps consuming the template (so its SETs still
 // land in the store) and returns ErrStale at the end with the failing
 // references in AssembleStats.Stale; callers must discard the page and
-// fall back.
+// fall back. Once the first stale reference is seen no further output is
+// written — the page is already unusable, and suppressing the tail is what
+// lets a streaming caller with an uncommitted spool abort cleanly.
 func (a *Assembler) Assemble(w io.Writer, r io.Reader) (AssembleStats, error) {
 	var st AssembleStats
 	cr := &countingReader{r: r}
@@ -95,9 +97,13 @@ func (a *Assembler) Assemble(w io.Writer, r io.Reader) (AssembleStats, error) {
 			st.TemplateBytes = cr.n
 			return st, fmt.Errorf("dpc: decoding template: %w", err)
 		}
+		doomed := len(st.Stale) > 0
 		switch in.Op {
 		case tmpl.OpLiteral:
 			st.Literals++
+			if doomed {
+				continue
+			}
 			n, err := w.Write(in.Data)
 			st.PageBytes += int64(n)
 			if err != nil {
@@ -107,6 +113,9 @@ func (a *Assembler) Assemble(w io.Writer, r io.Reader) (AssembleStats, error) {
 			st.Sets++
 			if err := a.store.Set(in.Key, in.Gen, in.Data); err != nil {
 				return st, err
+			}
+			if doomed {
+				continue
 			}
 			n, err := w.Write(in.Data)
 			st.PageBytes += int64(n)
@@ -118,6 +127,9 @@ func (a *Assembler) Assemble(w io.Writer, r io.Reader) (AssembleStats, error) {
 			data, ok := a.store.Get(in.Key, in.Gen, a.strict)
 			if !ok {
 				st.Stale = append(st.Stale, StaleRef{Key: in.Key, Gen: in.Gen})
+				continue
+			}
+			if doomed {
 				continue
 			}
 			n, err := w.Write(data)

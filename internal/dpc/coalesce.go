@@ -1,0 +1,118 @@
+package dpc
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Single-flight coalescing of identical in-flight origin fetches: when N
+// concurrent requests carry the same coalesce key, one leader performs the
+// origin fetch and assembly while the other N-1 park on the flight and are
+// served the leader's finished page. The paper puts the DPC on the critical
+// path of every dynamic request, so a popular page going cold must not fan
+// out as a thundering herd on the origin link.
+
+// flightResult is what a coalescing leader shares with its followers.
+type flightResult struct {
+	// ok reports the page is servable; followers re-fetch independently
+	// when false rather than amplifying the leader's failure.
+	ok    bool
+	page  []byte
+	ctype string
+}
+
+// flight is one in-flight origin fetch that concurrent identical requests
+// attach to.
+type flight struct {
+	key     string
+	done    chan struct{}
+	res     flightResult
+	waiters atomic.Int64
+	// buf is the leader's tee target in streaming mode: the leader
+	// streams to its own client while accumulating the page for the
+	// followers. Only the leader touches it (and tee) before done is
+	// closed; tee records that buf holds the complete page.
+	buf bytes.Buffer
+	tee bool
+}
+
+// flightGroup tracks in-flight origin fetches by coalesce key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup { return &flightGroup{m: make(map[string]*flight)} }
+
+// join returns the flight for key; leader is true for the caller that must
+// perform the fetch and eventually call finish.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		f.waiters.Add(1)
+		return f, false
+	}
+	f = &flight{key: key, done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish publishes the leader's result and releases all waiters. The
+// flight is removed from the group first so late arrivals start a fresh
+// fetch instead of reading a completed one.
+func (g *flightGroup) finish(f *flight, res flightResult) {
+	g.mu.Lock()
+	if g.m[f.key] == f {
+		delete(g.m, f.key)
+	}
+	g.mu.Unlock()
+	f.res = res
+	close(f.done)
+}
+
+// waiting reports how many followers are parked on key (tests).
+func (g *flightGroup) waiting(key string) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f.waiters.Load()
+	}
+	return 0
+}
+
+// coalescable restricts sharing to idempotent, bodyless requests;
+// side-effecting methods must each reach the origin.
+func coalescable(r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		return false
+	}
+	return r.ContentLength == 0 && len(r.TransferEncoding) == 0
+}
+
+// coalesceIdentityHeaders are the forwarded request headers the origin may
+// vary a response on: the session identity (X-User, Cookie, Authorization)
+// plus content negotiation. Every header forwarded to the origin that can
+// change the response MUST appear here, or coalescing would hand one
+// user's page to another.
+var coalesceIdentityHeaders = []string{
+	"X-User", "Cookie", "Authorization", "Accept", "Accept-Language",
+}
+
+// coalesceKey identifies an origin fetch: method, full request URI, and
+// the identity headers above. Two requests sharing a key would receive
+// byte-identical origin responses, so one fetch may serve all of them.
+func coalesceKey(r *http.Request) string {
+	var b strings.Builder
+	b.WriteString(r.Method)
+	b.WriteByte(0)
+	b.WriteString(r.URL.RequestURI())
+	for _, h := range coalesceIdentityHeaders {
+		b.WriteByte(0)
+		b.WriteString(r.Header.Get(h))
+	}
+	return b.String()
+}

@@ -1,0 +1,465 @@
+package dpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dpcache/internal/metrics"
+)
+
+// The request path is an explicit pipeline of named stages:
+//
+//	admin → static-cache → coalesce → origin-fetch → assemble →
+//	stale-fallback → respond
+//
+// Each stage owns a latency histogram (dpc.stage.<name>.latency) so
+// per-stage cost is observable from /_dpc/stats, and each can short-circuit
+// the rest of the pipeline (a static hit jumps straight to respond; a
+// coalesced follower is served its leader's page). Every served response —
+// hit, miss, coalesced, bypass, streamed — is counted exactly once, in the
+// respond stage.
+
+// stageOutcome directs the pipeline runner after a stage returns.
+type stageOutcome int
+
+const (
+	// stageNext falls through to the next stage.
+	stageNext stageOutcome = iota
+	// stageRespond jumps forward to the respond stage.
+	stageRespond
+	// stageDone reports the response fully handled; the pipeline stops.
+	stageDone
+)
+
+// Stage is one named step of the proxy's request pipeline.
+type Stage struct {
+	// Name identifies the stage in metrics and /_dpc/stats.
+	Name string
+	hist *metrics.Histogram
+	run  func(*reqState) (stageOutcome, error)
+}
+
+func (p *Proxy) newStage(name string, run func(*reqState) (stageOutcome, error)) *Stage {
+	return &Stage{
+		Name: name,
+		hist: p.reg.Histogram("dpc.stage." + name + ".latency"),
+		run:  run,
+	}
+}
+
+// reqState carries one request through the pipeline.
+type reqState struct {
+	w     http.ResponseWriter
+	r     *http.Request
+	start time.Time
+
+	// Response under construction.
+	body       []byte // buffered page (nil when streamed)
+	ctype      string
+	cacheState string // HIT, MISS, COALESCED, or BYPASS
+	streamed   bool   // body (or part of it) already reached the client
+
+	// reqBody is the client's request body, buffered once so the
+	// stale-fallback retry can replay it to the origin.
+	reqBody []byte
+
+	// resp is the open origin response handed from origin-fetch to
+	// assemble (template mode only).
+	resp *http.Response
+
+	// staleRefs, when set by assemble, routes the request through the
+	// stale-fallback stage.
+	staleRefs []StaleRef
+
+	// flight is non-nil while this request leads a coalesced fetch.
+	flight *flight
+}
+
+// --- admin ---
+
+func (p *Proxy) stageAdmin(rs *reqState) (stageOutcome, error) {
+	if !strings.HasPrefix(rs.r.URL.Path, AdminPrefix) {
+		return stageNext, nil
+	}
+	p.adminOnce.Do(p.initAdmin)
+	p.admin.ServeHTTP(rs.w, rs.r)
+	return stageDone, nil
+}
+
+// --- static-cache ---
+
+func (p *Proxy) stageStaticCache(rs *reqState) (stageOutcome, error) {
+	if p.static == nil || (rs.r.Method != http.MethodGet && rs.r.Method != http.MethodHead) {
+		return stageNext, nil
+	}
+	body, ctype, ok := p.static.Get(rs.r.URL.RequestURI())
+	if !ok {
+		return stageNext, nil
+	}
+	p.reg.Counter("dpc.static_hits").Inc()
+	rs.body, rs.ctype, rs.cacheState = body, ctype, "HIT"
+	return stageRespond, nil
+}
+
+// --- coalesce ---
+
+func (p *Proxy) stageCoalesce(rs *reqState) (stageOutcome, error) {
+	if p.flights == nil || !coalescable(rs.r) {
+		return stageNext, nil
+	}
+	f, leader := p.flights.join(coalesceKey(rs.r))
+	if leader {
+		rs.flight = f
+		return stageNext, nil
+	}
+	select {
+	case <-f.done:
+	case <-rs.r.Context().Done():
+		return stageDone, nil // client gone; nothing left to serve
+	}
+	if !f.res.ok {
+		// The leader failed; fetch independently instead of amplifying
+		// its error to every parked request.
+		return stageNext, nil
+	}
+	p.reg.Counter("dpc.coalesced").Inc()
+	rs.body, rs.ctype, rs.cacheState = f.res.page, f.res.ctype, "COALESCED"
+	return stageRespond, nil
+}
+
+// finishFlight publishes the leader's result (the served page on success,
+// the error otherwise) and releases its followers. Safe to call when the
+// request leads no flight.
+func (p *Proxy) finishFlight(rs *reqState, err error) {
+	if rs.flight == nil {
+		return
+	}
+	f := rs.flight
+	rs.flight = nil
+	var res flightResult
+	if err == nil {
+		res.ctype = rs.ctype
+		if rs.streamed {
+			// A streamed page is shareable only if it was teed into the
+			// flight buffer from the first byte; otherwise followers
+			// that joined mid-flight must re-fetch.
+			res.ok = f.tee
+			res.page = f.buf.Bytes()
+		} else {
+			res.ok = true
+			res.page = rs.body
+		}
+	}
+	p.flights.finish(f, res)
+}
+
+// --- origin-fetch ---
+
+// maxForwardBody bounds the request-body bytes buffered for replay.
+const maxForwardBody = 8 << 20
+
+// forwardedHeaders are the client headers relayed to the origin. Hop-by-hop
+// headers and Accept-Encoding (the proxy must see templates uncompressed)
+// are deliberately absent.
+var forwardedHeaders = []string{
+	"X-User", "Cookie", "Accept", "Accept-Language", "Authorization",
+	"Content-Type", "Referer", "User-Agent", "X-Requested-With",
+}
+
+// originRequest forwards the client's method, body, and relevant headers to
+// the origin and returns the (status-200) response. A non-nil bypassStale
+// forces a plain non-template response and reports the stale slots so the
+// BEM invalidates them.
+func (p *Proxy) originRequest(rs *reqState, bypassStale []StaleRef) (*http.Response, error) {
+	r := rs.r
+	if rs.reqBody == nil && r.Body != nil && (r.ContentLength != 0 || len(r.TransferEncoding) > 0) {
+		b, err := io.ReadAll(io.LimitReader(r.Body, maxForwardBody+1))
+		if err != nil {
+			return nil, fmt.Errorf("reading request body: %w", err)
+		}
+		if len(b) > maxForwardBody {
+			return nil, fmt.Errorf("request body exceeds %d bytes", maxForwardBody)
+		}
+		rs.reqBody = b
+	}
+	var body io.Reader
+	if rs.reqBody != nil {
+		body = bytes.NewReader(rs.reqBody)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		p.cfg.OriginURL+r.URL.RequestURI(), body)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range forwardedHeaders {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	if host, _, splitErr := net.SplitHostPort(r.RemoteAddr); splitErr == nil && host != "" {
+		if prior := r.Header.Get("X-Forwarded-For"); prior != "" {
+			host = prior + ", " + host
+		}
+		req.Header.Set("X-Forwarded-For", host)
+	}
+	req.Header.Set(headerCapable, "1")
+	if bypassStale != nil {
+		req.Header.Set(headerBypass, "1")
+		if s := FormatStaleRefs(bypassStale); s != "" {
+			req.Header.Set(headerStale, s)
+		}
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("origin fetch: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, fmt.Errorf("origin status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return resp, nil
+}
+
+func (p *Proxy) stageOriginFetch(rs *reqState) (stageOutcome, error) {
+	resp, err := p.originRequest(rs, nil)
+	if err != nil {
+		return stageNext, err
+	}
+	ctype := resp.Header.Get("Content-Type")
+	codecName := resp.Header.Get(headerTemplate)
+	if codecName == "" {
+		// Plain response: pass through untouched, caching it by URL when
+		// the origin explicitly allows (static content only — templates
+		// and bypass pages never carry Cache-Control).
+		defer resp.Body.Close()
+		p.reg.Counter("dpc.plain_passthrough").Inc()
+		var ttl time.Duration
+		if p.static != nil && rs.r.Method == http.MethodGet {
+			ttl = cacheableStatic(resp)
+		}
+		rs.ctype, rs.cacheState = ctype, "MISS"
+		// Spool-free passthrough: origin→client with a pooled copy
+		// buffer instead of materializing the body. Only buffer when
+		// the body must be retained — for the static cache, or to share
+		// with followers already parked on this flight.
+		canStream := p.cfg.Stream && ttl <= 0 &&
+			(rs.flight == nil || rs.flight.waiters.Load() == 0)
+		if canStream {
+			if err := p.streamPlain(rs, resp); err != nil {
+				return stageNext, err
+			}
+			return stageRespond, nil
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return stageNext, err
+		}
+		if ttl > 0 {
+			p.static.Put(rs.r.URL.RequestURI(), body, ctype, ttl)
+		}
+		rs.body = body
+		return stageRespond, nil
+	}
+	if codecName != p.asm.codec.Name() {
+		resp.Body.Close()
+		return stageNext, fmt.Errorf("origin codec %q does not match proxy codec %q",
+			codecName, p.asm.codec.Name())
+	}
+	rs.resp, rs.ctype, rs.cacheState = resp, ctype, "MISS"
+	return stageNext, nil
+}
+
+// streamPlain copies a passthrough body straight to the client.
+func (p *Proxy) streamPlain(rs *reqState, resp *http.Response) error {
+	h := rs.w.Header()
+	ctype := rs.ctype
+	if ctype == "" {
+		ctype = "text/html; charset=utf-8"
+	}
+	h.Set("Content-Type", ctype)
+	if resp.ContentLength >= 0 {
+		h.Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
+	}
+	h.Set("Via", "dpcache-dpc/1.0")
+	h.Set("X-Cache", rs.cacheState)
+	bufp := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(bufp)
+	// The writer is wrapped so CopyBuffer cannot take the ReaderFrom fast
+	// path: the pooled buffer is actually used, and headers are committed
+	// only when the first chunk is written — an error before any byte
+	// still yields a clean 502.
+	n, err := io.CopyBuffer(struct{ io.Writer }{rs.w}, resp.Body, *bufp)
+	rs.streamed = n > 0
+	return err
+}
+
+// --- assemble ---
+
+func (p *Proxy) recordAssembleStats(st AssembleStats) {
+	p.reg.Counter("dpc.template_bytes").Add(st.TemplateBytes)
+	p.reg.Counter("dpc.page_bytes").Add(st.PageBytes)
+	p.reg.Counter("dpc.gets").Add(int64(st.Gets))
+	p.reg.Counter("dpc.sets").Add(int64(st.Sets))
+}
+
+func (p *Proxy) stageAssemble(rs *reqState) (stageOutcome, error) {
+	resp := rs.resp
+	rs.resp = nil
+	defer resp.Body.Close()
+
+	if !p.cfg.Stream {
+		var page bytes.Buffer
+		stats, err := p.asm.Assemble(&page, resp.Body)
+		p.recordAssembleStats(stats)
+		if err != nil {
+			if errors.Is(err, ErrStale) {
+				rs.staleRefs = stats.Stale
+				return stageNext, nil
+			}
+			return stageNext, err
+		}
+		p.reg.Counter("dpc.assembled").Inc()
+		rs.body = page.Bytes()
+		return stageRespond, nil
+	}
+
+	// Streaming: output is held in a bounded look-ahead spool (staleness
+	// caught inside it — unset slots in any mode, generation mismatches
+	// in strict mode — aborts to a clean bypass), then streams straight
+	// to the client.
+	sw := newSpoolWriter(rs, p.spool)
+	defer sw.release()
+	var out io.Writer = sw
+	if rs.flight != nil && rs.flight.waiters.Load() > 0 {
+		// Followers are already parked: tee the page for them. With no
+		// follower yet the tee is skipped and the flight completes
+		// unshared — late joiners re-fetch rather than every solo
+		// streamed request paying an O(page) buffer.
+		rs.flight.tee = true
+		out = io.MultiWriter(sw, &rs.flight.buf)
+	}
+	stats, err := p.asm.Assemble(out, resp.Body)
+	p.recordAssembleStats(stats)
+	if err != nil {
+		if errors.Is(err, ErrStale) && !sw.committed {
+			// Clean abort-to-bypass: nothing reached the client.
+			if rs.flight != nil {
+				rs.flight.tee = false
+				rs.flight.buf.Reset()
+			}
+			rs.staleRefs = stats.Stale
+			return stageNext, nil
+		}
+		if sw.committed {
+			rs.streamed = true // the runner aborts the torn response
+			if errors.Is(err, ErrStale) {
+				// The page is torn, but the BEM must still learn about
+				// the stale slots or the next template repeats the same
+				// doomed GET and every request aborts forever.
+				p.reg.Counter("dpc.stream_aborts").Inc()
+				p.reportStaleAsync(rs.r.URL.RequestURI(), stats.Stale)
+			}
+		}
+		return stageNext, err
+	}
+	if err := sw.flush(); err != nil {
+		rs.streamed = sw.committed
+		return stageNext, err
+	}
+	rs.streamed = true
+	p.reg.Counter("dpc.assembled").Inc()
+	p.reg.Counter("dpc.streamed").Inc()
+	return stageRespond, nil
+}
+
+// reportStaleAsync delivers a stale report to the BEM when no bypass fetch
+// will carry it (a torn streamed response): a fire-and-forget request with
+// the bypass and stale headers whose body is discarded. Without this the
+// directory keeps believing the slots are cached and every later template
+// repeats the doomed GETs.
+func (p *Proxy) reportStaleAsync(requestURI string, refs []StaleRef) {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.cfg.OriginURL+requestURI, nil)
+		if err != nil {
+			return
+		}
+		req.Header.Set(headerCapable, "1")
+		req.Header.Set(headerBypass, "1")
+		req.Header.Set(headerStale, FormatStaleRefs(refs))
+		resp, err := p.client.Do(req)
+		if err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		p.reg.Counter("dpc.stale_reports").Inc()
+	}()
+}
+
+// --- stale-fallback ---
+
+func (p *Proxy) stageStaleFallback(rs *reqState) (stageOutcome, error) {
+	if rs.staleRefs == nil {
+		return stageRespond, nil
+	}
+	// Recover with a bypass fetch, reporting the stale slots so the BEM
+	// invalidates them and the next template carries fresh SETs instead
+	// of looping here.
+	p.reg.Counter("dpc.stale_fallbacks").Inc()
+	resp, err := p.originRequest(rs, rs.staleRefs)
+	if err != nil {
+		return stageNext, err
+	}
+	defer resp.Body.Close()
+	rs.ctype, rs.cacheState = resp.Header.Get("Content-Type"), "BYPASS"
+	if name := resp.Header.Get(headerTemplate); name != "" {
+		// An origin that ignores the bypass header still gets one
+		// buffered assembly; a second staleness is a hard error rather
+		// than a retry loop.
+		if name != p.asm.codec.Name() {
+			return stageNext, fmt.Errorf("origin codec %q does not match proxy codec %q",
+				name, p.asm.codec.Name())
+		}
+		var page bytes.Buffer
+		stats, err := p.asm.Assemble(&page, resp.Body)
+		p.recordAssembleStats(stats)
+		if err != nil {
+			return stageNext, err
+		}
+		p.reg.Counter("dpc.assembled").Inc()
+		rs.body = page.Bytes()
+		return stageRespond, nil
+	}
+	p.reg.Counter("dpc.plain_passthrough").Inc()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return stageNext, err
+	}
+	rs.body = body
+	return stageRespond, nil
+}
+
+// --- respond ---
+
+func (p *Proxy) stageRespond(rs *reqState) (stageOutcome, error) {
+	p.finishFlight(rs, nil)
+	if !rs.streamed {
+		p.writePage(rs.w, rs.body, rs.ctype, rs.cacheState)
+	}
+	// Every served response — hit, miss, coalesced, bypass, streamed —
+	// is counted here and nowhere else.
+	p.reg.Counter("dpc.requests").Inc()
+	p.reg.Histogram("dpc.latency").Observe(time.Since(rs.start))
+	return stageDone, nil
+}

@@ -1,11 +1,8 @@
 package dpc
 
 import (
-	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -45,6 +42,25 @@ type Config struct {
 	// Strict enables generation checking on GETs plus transparent
 	// re-fetch on staleness (design decision 4 in DESIGN.md).
 	Strict bool
+	// Coalesce collapses concurrent identical in-flight origin fetches
+	// (same method, URL, and session identity) into a single fetch whose
+	// page is shared by every parked request.
+	Coalesce bool
+	// Stream writes pages to the client as the template decodes instead
+	// of buffering whole pages: assembly streams after a bounded
+	// look-ahead spool and plain passthrough bodies are copied with a
+	// pooled buffer.
+	Stream bool
+	// StreamSpoolBytes bounds the streaming look-ahead spool (0 selects
+	// 64 KiB). Staleness detected while the head of the page still fits
+	// in the spool aborts cleanly to a bypass fetch; past it, the
+	// response is torn, the connection is aborted, and the stale slots
+	// are reported to the BEM out of band.
+	StreamSpoolBytes int
+	// PublishInterval is the period of the background ticker that
+	// refreshes the dpc.store.* gauges via fragstore.Publish (0 selects
+	// 10s; negative disables the ticker). Stop it with Close.
+	PublishInterval time.Duration
 	// Transport overrides the HTTP transport used to reach the origin
 	// (tests inject metered or in-memory transports).
 	Transport http.RoundTripper
@@ -61,7 +77,8 @@ type Config struct {
 }
 
 // Proxy is the Dynamic Proxy Cache in reverse-proxy mode: it fronts the
-// origin, stores fragments, and assembles pages.
+// origin, stores fragments, and assembles pages. Requests flow through an
+// explicit stage pipeline (see pipeline.go).
 type Proxy struct {
 	cfg    Config
 	store  fragstore.FragmentStore
@@ -70,8 +87,16 @@ type Proxy struct {
 	client *http.Client
 	reg    *metrics.Registry
 
+	stages     []*Stage
+	respondIdx int
+	flights    *flightGroup // nil when coalescing disabled
+	spool      int
+
 	adminOnce sync.Once
 	admin     *http.ServeMux
+
+	closeOnce sync.Once
+	stopPub   chan struct{}
 }
 
 // New returns a Proxy with an empty store.
@@ -103,14 +128,65 @@ func New(cfg Config) (*Proxy, error) {
 	if !cfg.DisableStaticCache {
 		static = NewStaticCache(cfg.StaticCacheEntries, cfg.StaticClock)
 	}
-	return &Proxy{
+	spool := cfg.StreamSpoolBytes
+	if spool <= 0 {
+		spool = defaultSpoolBytes
+	}
+	p := &Proxy{
 		cfg:    cfg,
 		store:  store,
 		asm:    NewAssembler(store, codec, cfg.Strict),
 		static: static,
 		client: &http.Client{Transport: transport, Timeout: 30 * time.Second},
 		reg:    reg,
-	}, nil
+		spool:  spool,
+	}
+	if cfg.Coalesce {
+		p.flights = newFlightGroup()
+	}
+	p.stages = []*Stage{
+		p.newStage("admin", p.stageAdmin),
+		p.newStage("static-cache", p.stageStaticCache),
+		p.newStage("coalesce", p.stageCoalesce),
+		p.newStage("origin-fetch", p.stageOriginFetch),
+		p.newStage("assemble", p.stageAssemble),
+		p.newStage("stale-fallback", p.stageStaleFallback),
+		p.newStage("respond", p.stageRespond),
+	}
+	p.respondIdx = len(p.stages) - 1
+	if interval := cfg.PublishInterval; interval >= 0 {
+		if interval == 0 {
+			interval = 10 * time.Second
+		}
+		p.stopPub = make(chan struct{})
+		go p.publishLoop(interval)
+	}
+	return p, nil
+}
+
+// publishLoop refreshes the dpc.store.* gauges until Close.
+func (p *Proxy) publishLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			fragstore.Publish(p.reg, "dpc.store", p.store.Stats())
+		case <-p.stopPub:
+			return
+		}
+	}
+}
+
+// Close stops the proxy's background work (the store-stats publisher). The
+// proxy itself remains usable; Close is idempotent.
+func (p *Proxy) Close() error {
+	p.closeOnce.Do(func() {
+		if p.stopPub != nil {
+			close(p.stopPub)
+		}
+	})
+	return nil
 }
 
 // Static exposes the URL-keyed static-content cache (nil when disabled).
@@ -122,6 +198,9 @@ func (p *Proxy) Store() fragstore.FragmentStore { return p.store }
 
 // Registry returns the proxy's metrics registry.
 func (p *Proxy) Registry() *metrics.Registry { return p.reg }
+
+// Stages lists the pipeline stages in execution order.
+func (p *Proxy) Stages() []*Stage { return p.stages }
 
 // AdminPrefix routes requests handled by the proxy itself rather than
 // forwarded: /_dpc/stats, plus anything mounted via HandleAdmin (e.g. the
@@ -140,9 +219,19 @@ func (p *Proxy) initAdmin() {
 	p.admin.HandleFunc("/_dpc/stats", func(w http.ResponseWriter, _ *http.Request) {
 		st := p.store.Stats()
 		fragstore.Publish(p.reg, "dpc.store", st)
+		stages := make(map[string]any, len(p.stages))
+		for _, s := range p.stages {
+			stages[s.Name] = map[string]int64{
+				"count":   s.hist.Count(),
+				"mean_ns": int64(s.hist.Mean()),
+				"p50_ns":  int64(s.hist.Quantile(0.50)),
+				"p99_ns":  int64(s.hist.Quantile(0.99)),
+			}
+		}
 		out := map[string]any{
 			"metrics":        p.reg.Snapshot(),
 			"store":          st,
+			"stages":         stages,
 			"slots_resident": st.Resident,
 			"slots_capacity": st.Capacity,
 			"fragment_bytes": st.Bytes,
@@ -156,44 +245,40 @@ func (p *Proxy) initAdmin() {
 	})
 }
 
-// ServeHTTP implements http.Handler: the client-facing side of the proxy.
+// ServeHTTP implements http.Handler: it drives the request through the
+// stage pipeline, timing each stage.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if strings.HasPrefix(r.URL.Path, AdminPrefix) {
-		p.adminOnce.Do(p.initAdmin)
-		p.admin.ServeHTTP(w, r)
-		return
-	}
-	start := time.Now()
-	// Explicitly cacheable static content is served without touching
-	// the origin at all (the paper's steady-state setup: "static
-	// content will be served from the ISA Server proxy cache and
-	// therefore will not impact bandwidth requirements").
-	if p.static != nil {
-		if body, ctype, ok := p.static.Get(r.URL.RequestURI()); ok {
-			p.reg.Counter("dpc.static_hits").Inc()
-			p.writePage(w, body, ctype, "HIT")
+	rs := &reqState{w: w, r: r, start: time.Now()}
+	for i := 0; i < len(p.stages); {
+		st := p.stages[i]
+		t0 := time.Now()
+		out, err := st.run(rs)
+		st.hist.Observe(time.Since(t0))
+		if err != nil {
+			p.fail(rs, err)
+			return
+		}
+		switch out {
+		case stageNext:
+			i++
+		case stageRespond:
+			i = p.respondIdx
+		case stageDone:
 			return
 		}
 	}
-	page, ctype, err := p.fetchAndAssemble(r, nil)
-	if err != nil {
-		var stale *staleness
-		if errors.As(err, &stale) {
-			// Recover with a bypass fetch, reporting the stale slots
-			// so the BEM invalidates them and the next template
-			// carries fresh SETs instead of looping here.
-			p.reg.Counter("dpc.stale_fallbacks").Inc()
-			page, ctype, err = p.fetchAndAssemble(r, stale.refs)
-		}
+}
+
+// fail terminates a request that errored mid-pipeline. When part of the
+// body already reached the client the only honest signal left is an
+// aborted response; otherwise a 502 is returned.
+func (p *Proxy) fail(rs *reqState, err error) {
+	p.finishFlight(rs, err)
+	p.reg.Counter("dpc.errors").Inc()
+	if rs.streamed {
+		panic(http.ErrAbortHandler)
 	}
-	if err != nil {
-		p.reg.Counter("dpc.errors").Inc()
-		http.Error(w, fmt.Sprintf("dpc: %v", err), http.StatusBadGateway)
-		return
-	}
-	p.reg.Counter("dpc.requests").Inc()
-	p.reg.Histogram("dpc.latency").Observe(time.Since(start))
-	p.writePage(w, page, ctype, "MISS")
+	http.Error(rs.w, fmt.Sprintf("dpc: %v", err), http.StatusBadGateway)
 }
 
 func (p *Proxy) writePage(w http.ResponseWriter, body []byte, ctype, cacheState string) {
@@ -208,16 +293,6 @@ func (p *Proxy) writePage(w http.ResponseWriter, body []byte, ctype, cacheState 
 	_, _ = w.Write(body)
 }
 
-// staleness wraps ErrStale so ServeHTTP can distinguish recoverable
-// staleness from transport errors, carrying the failed references.
-type staleness struct {
-	err  error
-	refs []StaleRef
-}
-
-func (s *staleness) Error() string { return s.err.Error() }
-func (s *staleness) Unwrap() error { return s.err }
-
 // FormatStaleRefs encodes stale references for the X-DPC-Stale header:
 // "key:gen,key:gen".
 func FormatStaleRefs(refs []StaleRef) string {
@@ -229,75 +304,4 @@ func FormatStaleRefs(refs []StaleRef) string {
 		fmt.Fprintf(&b, "%d:%d", ref.Key, ref.Gen)
 	}
 	return b.String()
-}
-
-// fetchAndAssemble forwards the request to the origin and assembles the
-// result, returning the body and its content type. A non-nil bypassStale
-// forces a plain (non-template) response and reports the stale slots to
-// the BEM.
-func (p *Proxy) fetchAndAssemble(r *http.Request, bypassStale []StaleRef) ([]byte, string, error) {
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
-		p.cfg.OriginURL+r.URL.RequestURI(), nil)
-	if err != nil {
-		return nil, "", err
-	}
-	// Forward the session identity and advertise assembly capability.
-	for _, h := range []string{"X-User", "Cookie", "Accept"} {
-		if v := r.Header.Get(h); v != "" {
-			req.Header.Set(h, v)
-		}
-	}
-	req.Header.Set(headerCapable, "1")
-	if bypassStale != nil {
-		req.Header.Set(headerBypass, "1")
-		if s := FormatStaleRefs(bypassStale); s != "" {
-			req.Header.Set(headerStale, s)
-		}
-	}
-	resp, err := p.client.Do(req)
-	if err != nil {
-		return nil, "", fmt.Errorf("origin fetch: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, "", fmt.Errorf("origin status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
-	}
-	ctype := resp.Header.Get("Content-Type")
-
-	codecName := resp.Header.Get(headerTemplate)
-	if codecName == "" {
-		// Plain response: pass through untouched, caching it by URL
-		// when the origin explicitly allows (static content only —
-		// templates and bypass pages never carry Cache-Control).
-		p.reg.Counter("dpc.plain_passthrough").Inc()
-		body, err := io.ReadAll(resp.Body)
-		if err != nil {
-			return nil, "", err
-		}
-		if p.static != nil {
-			if ttl := cacheableStatic(resp); ttl > 0 {
-				p.static.Put(r.URL.RequestURI(), body, ctype, ttl)
-			}
-		}
-		return body, ctype, nil
-	}
-	if codecName != p.asm.codec.Name() {
-		return nil, "", fmt.Errorf("origin codec %q does not match proxy codec %q", codecName, p.asm.codec.Name())
-	}
-
-	var page bytes.Buffer
-	stats, err := p.asm.Assemble(&page, resp.Body)
-	p.reg.Counter("dpc.template_bytes").Add(stats.TemplateBytes)
-	p.reg.Counter("dpc.page_bytes").Add(stats.PageBytes)
-	p.reg.Counter("dpc.gets").Add(int64(stats.Gets))
-	p.reg.Counter("dpc.sets").Add(int64(stats.Sets))
-	if err != nil {
-		if errors.Is(err, ErrStale) {
-			return nil, "", &staleness{err: err, refs: stats.Stale}
-		}
-		return nil, "", err
-	}
-	p.reg.Counter("dpc.assembled").Inc()
-	return page.Bytes(), ctype, nil
 }

@@ -1,0 +1,115 @@
+package dpc
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Streaming assembly support: instead of materializing every page in a
+// full-size buffer before the first client byte, the assemble stage writes
+// through a spoolWriter. A bounded look-ahead spool (both modes — unset
+// slots make staleness reachable even without strict generation checks)
+// holds back the head of the page so staleness detected early can still
+// abort to a clean bypass fetch with nothing committed to the client.
+
+// defaultSpoolBytes is the look-ahead window when Config.StreamSpoolBytes
+// is zero.
+const defaultSpoolBytes = 64 << 10
+
+// maxPooledSpool caps the capacity of spools returned to the pool so one
+// giant page does not pin memory forever.
+const maxPooledSpool = 1 << 20
+
+// copyBufPool provides scratch buffers for spool-free passthrough copies
+// (the io.Copy replacement for the old full-body ReadAll).
+var copyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
+
+// spoolPool recycles look-ahead spools across requests.
+var spoolPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// spoolWriter streams assembled output to the client, holding back up to
+// max bytes. Until the spool overflows nothing — not even response headers
+// — has been committed, so the caller can still discard the page and fall
+// back. Once committed, writes pass straight through.
+type spoolWriter struct {
+	rs        *reqState
+	max       int
+	spool     []byte
+	spoolRef  *[]byte
+	committed bool
+	written   int64
+}
+
+func newSpoolWriter(rs *reqState, max int) *spoolWriter {
+	s := &spoolWriter{rs: rs, max: max}
+	if max > 0 {
+		s.spoolRef = spoolPool.Get().(*[]byte)
+		s.spool = (*s.spoolRef)[:0]
+	}
+	return s
+}
+
+func (s *spoolWriter) Write(b []byte) (int, error) {
+	if !s.committed {
+		if len(s.spool)+len(b) <= s.max {
+			s.spool = append(s.spool, b...)
+			return len(b), nil
+		}
+		if err := s.commit(false); err != nil {
+			return 0, err
+		}
+	}
+	n, err := s.rs.w.Write(b)
+	s.written += int64(n)
+	return n, err
+}
+
+// commit sends response headers and any spooled bytes. final reports that
+// the page is already complete, in which case the exact Content-Length is
+// known and set (the whole page fit in the spool).
+func (s *spoolWriter) commit(final bool) error {
+	s.committed = true
+	h := s.rs.w.Header()
+	ctype := s.rs.ctype
+	if ctype == "" {
+		ctype = "text/html; charset=utf-8"
+	}
+	h.Set("Content-Type", ctype)
+	if final {
+		h.Set("Content-Length", strconv.Itoa(len(s.spool)))
+	}
+	h.Set("Via", "dpcache-dpc/1.0")
+	h.Set("X-Cache", s.rs.cacheState)
+	s.rs.w.WriteHeader(http.StatusOK)
+	if len(s.spool) > 0 {
+		n, err := s.rs.w.Write(s.spool)
+		s.written += int64(n)
+		s.spool = s.spool[:0]
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flush finalizes a successful assembly, committing the spool if nothing
+// has been sent yet.
+func (s *spoolWriter) flush() error {
+	if s.committed {
+		return nil
+	}
+	return s.commit(true)
+}
+
+// release returns the spool to the pool.
+func (s *spoolWriter) release() {
+	if s.spoolRef != nil && cap(s.spool) <= maxPooledSpool {
+		*s.spoolRef = s.spool[:0]
+		spoolPool.Put(s.spoolRef)
+	}
+	s.spoolRef, s.spool = nil, nil
+}
