@@ -13,7 +13,10 @@
 // origin-fetch, assemble, stale-fallback, respond) with per-stage latency
 // histograms served from /_dpc/stats. Single-flight coalescing of identical
 // in-flight origin fetches (-coalesce) and streaming assembly (-stream,
-// with a strict-mode look-ahead spool sized by -spool) are on by default:
+// with a strict-mode look-ahead spool sized by -spool) are on by default.
+// Coalesced followers attach to the leader's in-progress broadcast and
+// stream it live; -coalesce-buffer caps the per-flight replay buffer, past
+// which late joiners fetch for themselves:
 //
 //	dpcd -coalesce=false -stream=false   # paper-faithful buffered path
 //
@@ -45,6 +48,7 @@ func main() {
 	budget := flag.Int64("store-budget", 0, "sharded store: resident fragment byte budget (0 = unbounded)")
 	evict := flag.String("evict", "none", "sharded store: eviction policy when over budget: none, lru, or gdsf")
 	coalesce := flag.Bool("coalesce", true, "collapse concurrent identical origin fetches into one (single-flight)")
+	coalesceBuf := flag.Int("coalesce-buffer", 0, "per-flight broadcast buffer cap in bytes before late joiners re-fetch (0 = 4MiB default)")
 	stream := flag.Bool("stream", true, "stream assembled pages to clients instead of buffering whole pages")
 	spool := flag.Int("spool", 0, "strict-mode streaming look-ahead spool in bytes (0 = 64KiB default)")
 	publishEvery := flag.Duration("publish", 10*time.Second, "background dpc.store.* gauge refresh interval (0 = disabled)")
@@ -70,15 +74,16 @@ func main() {
 		publish = -1 // dpc: negative disables the background publisher
 	}
 	proxy, err := dpc.New(dpc.Config{
-		OriginURL:        *originURL,
-		Capacity:         *capacity,
-		Store:            store,
-		Codec:            codec,
-		Strict:           *strict,
-		Coalesce:         *coalesce,
-		Stream:           *stream,
-		StreamSpoolBytes: *spool,
-		PublishInterval:  publish,
+		OriginURL:           *originURL,
+		Capacity:            *capacity,
+		Store:               store,
+		Codec:               codec,
+		Strict:              *strict,
+		Coalesce:            *coalesce,
+		CoalesceBufferBytes: *coalesceBuf,
+		Stream:              *stream,
+		StreamSpoolBytes:    *spool,
+		PublishInterval:     publish,
 	})
 	if err != nil {
 		log.Fatal(err)

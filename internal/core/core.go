@@ -98,8 +98,13 @@ type Config struct {
 	StoreEviction string
 	// Coalesce collapses concurrent identical in-flight origin fetches at
 	// each proxy into a single origin request (single-flight, keyed by
-	// method, URL, and session identity).
+	// method, URL, and session identity) whose output is broadcast chunk
+	// by chunk to every parked request as the leader's fetch proceeds.
 	Coalesce bool
+	// CoalesceBufferBytes bounds each flight's broadcast buffer (0 selects
+	// the dpc default, 4 MiB); past it, late joiners degrade to their own
+	// origin fetch instead of replaying the oversized page.
+	CoalesceBufferBytes int
 	// Stream enables streaming assembly at each proxy: pages are written
 	// to the client as templates decode instead of being buffered whole.
 	Stream bool
@@ -152,16 +157,17 @@ type System struct {
 // proxyConfig translates the system config into one proxy's config.
 func (c Config) proxyConfig(originURL string, store fragstore.FragmentStore, reg *metrics.Registry) dpc.Config {
 	return dpc.Config{
-		OriginURL:        originURL,
-		Capacity:         c.Capacity,
-		Store:            store,
-		Codec:            c.Codec,
-		Strict:           c.Strict,
-		Coalesce:         c.Coalesce,
-		Stream:           c.Stream,
-		StreamSpoolBytes: c.StreamSpoolBytes,
-		PublishInterval:  c.PublishInterval,
-		Registry:         reg,
+		OriginURL:           originURL,
+		Capacity:            c.Capacity,
+		Store:               store,
+		Codec:               c.Codec,
+		Strict:              c.Strict,
+		Coalesce:            c.Coalesce,
+		CoalesceBufferBytes: c.CoalesceBufferBytes,
+		Stream:              c.Stream,
+		StreamSpoolBytes:    c.StreamSpoolBytes,
+		PublishInterval:     c.PublishInterval,
+		Registry:            reg,
 	}
 }
 

@@ -115,50 +115,122 @@ func (p *Proxy) stageCoalesce(rs *reqState) (stageOutcome, error) {
 	if p.flights == nil || !coalescable(rs.r) {
 		return stageNext, nil
 	}
-	f, leader := p.flights.join(coalesceKey(rs.r))
+	f, leader, fol := p.flights.join(coalesceKey(rs.r))
 	if leader {
 		rs.flight = f
 		return stageNext, nil
 	}
-	select {
-	case <-f.done:
-	case <-rs.r.Context().Done():
-		return stageDone, nil // client gone; nothing left to serve
-	}
-	if !f.res.ok {
-		// The leader failed; fetch independently instead of amplifying
-		// its error to every parked request.
+	if fol == nil {
+		// The flight sealed (broadcast buffer over its byte cap) before we
+		// arrived: the replay window is gone, so fetch independently.
+		p.reg.Counter("dpc.coalesce_overflows").Inc()
 		return stageNext, nil
 	}
-	p.reg.Counter("dpc.coalesced").Inc()
-	rs.body, rs.ctype, rs.cacheState = f.res.page, f.res.ctype, "COALESCED"
-	return stageRespond, nil
+	return p.serveFollower(rs, f, fol)
 }
 
-// finishFlight publishes the leader's result (the served page on success,
-// the error otherwise) and releases its followers. Safe to call when the
-// request leads no flight.
+// serveFollower streams a flight to one parked request: replay the chunks
+// already buffered, then live chunks as the leader appends them, until the
+// flight closes. The follower's first byte goes out as soon as the leader
+// has produced one — it does not wait for the completed page.
+func (p *Proxy) serveFollower(rs *reqState, f *flight, fol *follower) (stageOutcome, error) {
+	defer f.detach(fol)
+	ctx := rs.r.Context()
+	stop := context.AfterFunc(ctx, f.wake)
+	defer stop()
+	cancelled := func() bool { return ctx.Err() != nil }
+	bufp := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(bufp)
+	committed := false
+	commit := func(c flightChunk) {
+		h := rs.w.Header()
+		ctype := c.ctype
+		if ctype == "" {
+			ctype = "text/html; charset=utf-8"
+		}
+		h.Set("Content-Type", ctype)
+		if c.state == flightDone {
+			// The whole page is already buffered: its length is exact.
+			clen := c.total
+			if clen == 0 && c.clen > 0 {
+				clen = c.clen // bodyless response (HEAD): leader's declared length
+			}
+			h.Set("Content-Length", strconv.FormatInt(clen, 10))
+		}
+		h.Set("Via", "dpcache-dpc/1.0")
+		h.Set("X-Cache", "COALESCED")
+		rs.w.WriteHeader(http.StatusOK)
+		committed = true
+		rs.streamed = true
+		rs.cacheState = "COALESCED"
+	}
+	for {
+		c := f.next(fol, *bufp, cancelled)
+		if cancelled() {
+			return stageDone, nil // client gone; nothing left to serve
+		}
+		if c.state == flightAborted {
+			// Terminal states outrank buffered bytes: an aborted flight's
+			// buffer is a torn prefix, and a follower that has not
+			// committed must never be served any of it.
+			if committed {
+				// Part of the leader's page already reached our client;
+				// the only honest signal left is an aborted connection.
+				return stageDone, fmt.Errorf("dpc: coalesced leader aborted mid-stream")
+			}
+			// Nothing committed: fetch independently instead of amplifying
+			// the leader's failure to every parked request.
+			p.reg.Counter("dpc.coalesce_fallbacks").Inc()
+			return stageNext, nil
+		}
+		if c.overrun {
+			// We fell more than the buffer cap behind the leader and our
+			// unread bytes were dropped to bound the flight's memory.
+			if committed {
+				return stageDone, fmt.Errorf("dpc: follower overran the coalesce broadcast buffer")
+			}
+			p.reg.Counter("dpc.coalesce_overflows").Inc()
+			return stageNext, nil
+		}
+		if c.n > 0 {
+			if !committed {
+				commit(c)
+			}
+			if _, err := rs.w.Write((*bufp)[:c.n]); err != nil {
+				return stageDone, nil // client write failed mid-stream
+			}
+			if fl, ok := rs.w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			continue
+		}
+		if c.state == flightDone {
+			if !committed {
+				commit(c) // empty page or bodyless response
+			}
+			p.reg.Counter("dpc.coalesced").Inc()
+			return stageRespond, nil
+		}
+		// flightOpen with no bytes: spurious wakeup.
+	}
+}
+
+// finishFlight closes the leader's flight, releasing its followers. A
+// buffered leader (nothing streamed yet) publishes its complete page as one
+// chunk first; a streaming leader has already broadcast every chunk through
+// its spoolWriter or streamPlain. Safe to call when the request leads no
+// flight.
 func (p *Proxy) finishFlight(rs *reqState, err error) {
 	if rs.flight == nil {
 		return
 	}
 	f := rs.flight
 	rs.flight = nil
-	var res flightResult
-	if err == nil {
-		res.ctype = rs.ctype
-		if rs.streamed {
-			// A streamed page is shareable only if it was teed into the
-			// flight buffer from the first byte; otherwise followers
-			// that joined mid-flight must re-fetch.
-			res.ok = f.tee
-			res.page = f.buf.Bytes()
-		} else {
-			res.ok = true
-			res.page = rs.body
-		}
+	if err == nil && !rs.streamed {
+		f.publishHeaders(rs.ctype, -1)
+		f.append(rs.body)
 	}
-	p.flights.finish(f, res)
+	p.flights.finish(f, err != nil)
 }
 
 // --- origin-fetch ---
@@ -244,16 +316,20 @@ func (p *Proxy) stageOriginFetch(rs *reqState) (stageOutcome, error) {
 		p.reg.Counter("dpc.plain_passthrough").Inc()
 		var ttl time.Duration
 		if p.static != nil && rs.r.Method == http.MethodGet {
-			ttl = cacheableStatic(resp)
+			var varied bool
+			ttl, varied = cacheableStatic(resp)
+			if varied {
+				// Cacheable by Cache-Control but carrying Vary: a URL-keyed
+				// entry would serve one variant to every client.
+				p.reg.Counter("dpc.static_uncacheable_vary").Inc()
+			}
 		}
 		rs.ctype, rs.cacheState = ctype, "MISS"
 		// Spool-free passthrough: origin→client with a pooled copy
-		// buffer instead of materializing the body. Only buffer when
-		// the body must be retained — for the static cache, or to share
-		// with followers already parked on this flight.
-		canStream := p.cfg.Stream && ttl <= 0 &&
-			(rs.flight == nil || rs.flight.waiters.Load() == 0)
-		if canStream {
+		// buffer instead of materializing the body, teeing each chunk
+		// into the flight broadcast for any followers. Only buffer when
+		// the body must be retained for the static cache.
+		if p.cfg.Stream && ttl <= 0 {
 			if err := p.streamPlain(rs, resp); err != nil {
 				return stageNext, err
 			}
@@ -278,7 +354,12 @@ func (p *Proxy) stageOriginFetch(rs *reqState) (stageOutcome, error) {
 	return stageNext, nil
 }
 
-// streamPlain copies a passthrough body straight to the client.
+// streamPlain copies a passthrough body straight to the client, teeing
+// each chunk into the flight broadcast when this request leads one.
+// Headers are committed at the first body byte — or at clean EOF, so an
+// empty-bodied response (HEAD, 0-length GET) still goes out with the
+// origin's real Content-Length instead of falling through to writePage and
+// having it clobbered. An error before any byte still yields a clean 502.
 func (p *Proxy) streamPlain(rs *reqState, resp *http.Response) error {
 	h := rs.w.Header()
 	ctype := rs.ctype
@@ -291,15 +372,42 @@ func (p *Proxy) streamPlain(rs *reqState, resp *http.Response) error {
 	}
 	h.Set("Via", "dpcache-dpc/1.0")
 	h.Set("X-Cache", rs.cacheState)
+	if rs.flight != nil {
+		rs.flight.publishHeaders(ctype, resp.ContentLength)
+	}
 	bufp := copyBufPool.Get().(*[]byte)
 	defer copyBufPool.Put(bufp)
-	// The writer is wrapped so CopyBuffer cannot take the ReaderFrom fast
-	// path: the pooled buffer is actually used, and headers are committed
-	// only when the first chunk is written — an error before any byte
-	// still yields a clean 502.
-	n, err := io.CopyBuffer(struct{ io.Writer }{rs.w}, resp.Body, *bufp)
-	rs.streamed = n > 0
-	return err
+	buf := *bufp
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if !rs.streamed {
+				rs.w.WriteHeader(http.StatusOK)
+				rs.streamed = true
+			}
+			wn, werr := rs.w.Write(buf[:n])
+			if rs.flight != nil {
+				rs.flight.append(buf[:wn])
+			}
+			if werr != nil {
+				return werr
+			}
+			if wn < n {
+				return io.ErrShortWrite
+			}
+		}
+		switch err {
+		case nil:
+		case io.EOF:
+			if !rs.streamed {
+				rs.w.WriteHeader(http.StatusOK)
+				rs.streamed = true
+			}
+			return nil
+		default:
+			return err
+		}
+	}
 }
 
 // --- assemble ---
@@ -335,27 +443,17 @@ func (p *Proxy) stageAssemble(rs *reqState) (stageOutcome, error) {
 	// Streaming: output is held in a bounded look-ahead spool (staleness
 	// caught inside it — unset slots in any mode, generation mismatches
 	// in strict mode — aborts to a clean bypass), then streams straight
-	// to the client.
+	// to the client, with every post-spool chunk teed into the flight
+	// broadcast so followers stream it live.
 	sw := newSpoolWriter(rs, p.spool)
 	defer sw.release()
-	var out io.Writer = sw
-	if rs.flight != nil && rs.flight.waiters.Load() > 0 {
-		// Followers are already parked: tee the page for them. With no
-		// follower yet the tee is skipped and the flight completes
-		// unshared — late joiners re-fetch rather than every solo
-		// streamed request paying an O(page) buffer.
-		rs.flight.tee = true
-		out = io.MultiWriter(sw, &rs.flight.buf)
-	}
-	stats, err := p.asm.Assemble(out, resp.Body)
+	stats, err := p.asm.Assemble(sw, resp.Body)
 	p.recordAssembleStats(stats)
 	if err != nil {
 		if errors.Is(err, ErrStale) && !sw.committed {
-			// Clean abort-to-bypass: nothing reached the client.
-			if rs.flight != nil {
-				rs.flight.tee = false
-				rs.flight.buf.Reset()
-			}
+			// Clean abort-to-bypass: nothing reached the client, and
+			// nothing entered the flight broadcast (the spool holds
+			// uncommitted bytes back from both).
 			rs.staleRefs = stats.Stale
 			return stageNext, nil
 		}
@@ -442,6 +540,16 @@ func (p *Proxy) stageStaleFallback(rs *reqState) (stageOutcome, error) {
 		return stageRespond, nil
 	}
 	p.reg.Counter("dpc.plain_passthrough").Inc()
+	if p.cfg.Stream {
+		// The bypass page streams to the client through the same teeing
+		// path as a first-try passthrough — followers parked on this
+		// flight receive the recovery page live instead of waiting for
+		// an io.ReadAll of the whole body.
+		if err := p.streamPlain(rs, resp); err != nil {
+			return stageNext, err
+		}
+		return stageRespond, nil
+	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return stageNext, err

@@ -101,7 +101,11 @@ func testCoalesceStorm(t *testing.T, stream, template bool) {
 	results := make(chan result, followers+1)
 	go get(results) // leader
 	<-entered       // origin is now blocked inside the leader's fetch
-	key := coalesceKey(httptest.NewRequest(http.MethodGet, "/page/storm", nil))
+	// The key must match what the real client sends — the coalesce key now
+	// covers every forwarded header, including the client's User-Agent.
+	keyReq := httptest.NewRequest(http.MethodGet, "/page/storm", nil)
+	keyReq.Header.Set("User-Agent", "Go-http-client/1.1")
+	key := coalesceKey(keyReq)
 	for i := 0; i < followers; i++ {
 		go get(results)
 	}
@@ -420,6 +424,40 @@ func TestMethodBodyAndHeadersForwarded(t *testing.T) {
 	want := "POST|a=1&b=2|application/x-www-form-urlencoded|Bearer tok"
 	if string(body) != want {
 		t.Fatalf("origin saw %q, want %q", body, want)
+	}
+}
+
+// A streamed plain response with an empty body (HEAD) must commit the
+// origin's headers: streamPlain used to leave the response uncommitted when
+// no byte was copied, letting writePage clobber the origin's real
+// Content-Length with 0.
+func TestStreamedHeadKeepsContentLength(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodHead {
+			t.Errorf("origin saw method %s, want HEAD", r.Method)
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		w.Header().Set("Content-Length", "42")
+	}))
+	defer origin.Close()
+
+	p := newTestProxy(t, origin.URL, func(c *Config) { c.Stream = true })
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	resp, err := http.Head(ts.URL + "/page/asset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Length"); got != "42" {
+		t.Fatalf("Content-Length = %q, want the origin's 42", got)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "text/plain" {
+		t.Fatalf("Content-Type = %q", got)
 	}
 }
 

@@ -44,8 +44,16 @@ type Config struct {
 	Strict bool
 	// Coalesce collapses concurrent identical in-flight origin fetches
 	// (same method, URL, and session identity) into a single fetch whose
-	// page is shared by every parked request.
+	// page is broadcast, chunk by chunk, to every parked request as the
+	// leader's assembly proceeds.
 	Coalesce bool
+	// CoalesceBufferBytes bounds each flight's broadcast buffer (0 selects
+	// 4 MiB). Once a leader has produced more than this, the flight seals:
+	// followers already attached keep streaming, late arrivals degrade to
+	// their own origin fetch instead of replaying the oversized page, and
+	// followers lagging more than the cap behind the leader are shed (a
+	// stalled client cannot pin the page in memory).
+	CoalesceBufferBytes int
 	// Stream writes pages to the client as the template decodes instead
 	// of buffering whole pages: assembly streams after a bounded
 	// look-ahead spool and plain passthrough bodies are copied with a
@@ -142,7 +150,7 @@ func New(cfg Config) (*Proxy, error) {
 		spool:  spool,
 	}
 	if cfg.Coalesce {
-		p.flights = newFlightGroup()
+		p.flights = newFlightGroup(cfg.CoalesceBufferBytes)
 	}
 	p.stages = []*Stage{
 		p.newStage("admin", p.stageAdmin),

@@ -139,13 +139,22 @@ func maxAgeFrom(cacheControl string) time.Duration {
 }
 
 // cacheableStatic reports whether a proxied response may enter the static
-// cache: 200, explicitly cacheable, and not a template.
-func cacheableStatic(resp *http.Response) time.Duration {
+// cache: 200, explicitly cacheable, not a template, and carrying no Vary.
+// The cache is URL-keyed, so a response the origin varies on any request
+// header (Vary: Cookie, Accept-Encoding, …) would be served to every
+// client regardless of their variant; such responses are refused. varied
+// reports that Vary alone blocked an otherwise-cacheable response, so the
+// caller can count the refusals (dpc.static_uncacheable_vary).
+func cacheableStatic(resp *http.Response) (ttl time.Duration, varied bool) {
 	if resp.StatusCode != http.StatusOK {
-		return 0
+		return 0, false
 	}
 	if resp.Header.Get(headerTemplate) != "" {
-		return 0 // dynamic: never URL-keyed (Section 3.2.1)
+		return 0, false // dynamic: never URL-keyed (Section 3.2.1)
 	}
-	return maxAgeFrom(resp.Header.Get("Cache-Control"))
+	age := maxAgeFrom(resp.Header.Get("Cache-Control"))
+	if age > 0 && resp.Header.Get("Vary") != "" {
+		return 0, true
+	}
+	return age, false
 }

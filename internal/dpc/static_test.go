@@ -2,11 +2,80 @@ package dpc
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
 	"dpcache/internal/clock"
 )
+
+// cacheableStatic must refuse responses carrying Vary: the cache is
+// URL-keyed, so a varied response would be served to every client
+// regardless of their variant. varied reports the refusal so callers can
+// count it.
+func TestCacheableStaticRefusesVary(t *testing.T) {
+	mk := func(h http.Header) *http.Response {
+		return &http.Response{StatusCode: http.StatusOK, Header: h}
+	}
+	ttl, varied := cacheableStatic(mk(http.Header{"Cache-Control": {"max-age=60"}}))
+	if ttl != time.Minute || varied {
+		t.Fatalf("plain cacheable: ttl=%v varied=%v", ttl, varied)
+	}
+	ttl, varied = cacheableStatic(mk(http.Header{
+		"Cache-Control": {"max-age=60"}, "Vary": {"Cookie"},
+	}))
+	if ttl != 0 || !varied {
+		t.Fatalf("Vary response: ttl=%v varied=%v, want refused and counted", ttl, varied)
+	}
+	// Uncacheable responses with Vary are not counted as Vary refusals:
+	// Cache-Control already blocked them.
+	ttl, varied = cacheableStatic(mk(http.Header{"Vary": {"Cookie"}}))
+	if ttl != 0 || varied {
+		t.Fatalf("no-cache-control Vary response: ttl=%v varied=%v", ttl, varied)
+	}
+}
+
+// End to end: a max-age response with Vary: Cookie must not be URL-keyed —
+// each cookie variant reaches the origin and gets its own body, and the
+// refusals are counted.
+func TestStaticCacheVaryNotCrossServed(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Cache-Control", "max-age=60")
+		w.Header().Set("Vary", "Cookie")
+		fmt.Fprintf(w, "variant for %s", r.Header.Get("Cookie"))
+	}))
+	defer origin.Close()
+
+	p := newTestProxy(t, origin.URL, nil)
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	get := func(cookie string) string {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/page/varied", nil)
+		req.Header.Set("Cookie", cookie)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	if got := get("sid=alice"); got != "variant for sid=alice" {
+		t.Fatalf("alice got %q", got)
+	}
+	if got := get("sid=bob"); got != "variant for sid=bob" {
+		t.Fatalf("bob got %q — served alice's cached variant", got)
+	}
+	if got := p.Static().Len(); got != 0 {
+		t.Fatalf("static cache holds %d entries, want 0 (Vary responses must not enter)", got)
+	}
+	if got := p.Registry().Counter("dpc.static_uncacheable_vary").Value(); got != 2 {
+		t.Fatalf("dpc.static_uncacheable_vary = %d, want 2", got)
+	}
+}
 
 func TestStaticCachePutGet(t *testing.T) {
 	c := NewStaticCache(4, nil)

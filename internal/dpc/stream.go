@@ -34,7 +34,11 @@ var spoolPool = sync.Pool{New: func() any { return new([]byte) }}
 // spoolWriter streams assembled output to the client, holding back up to
 // max bytes. Until the spool overflows nothing — not even response headers
 // — has been committed, so the caller can still discard the page and fall
-// back. Once committed, writes pass straight through.
+// back. Once committed, writes pass straight through to the client and,
+// when the request leads a coalesced flight, are teed into its broadcast
+// buffer so followers stream the page live. Bytes still in the spool are
+// deliberately not broadcast: an abort-to-bypass must leave followers a
+// clean slate.
 type spoolWriter struct {
 	rs        *reqState
 	max       int
@@ -42,6 +46,16 @@ type spoolWriter struct {
 	spoolRef  *[]byte
 	committed bool
 	written   int64
+}
+
+// send delivers committed bytes to the client and the flight broadcast.
+func (s *spoolWriter) send(b []byte) (int, error) {
+	n, err := s.rs.w.Write(b)
+	s.written += int64(n)
+	if f := s.rs.flight; f != nil {
+		f.append(b[:n])
+	}
+	return n, err
 }
 
 func newSpoolWriter(rs *reqState, max int) *spoolWriter {
@@ -63,9 +77,7 @@ func (s *spoolWriter) Write(b []byte) (int, error) {
 			return 0, err
 		}
 	}
-	n, err := s.rs.w.Write(b)
-	s.written += int64(n)
-	return n, err
+	return s.send(b)
 }
 
 // commit sends response headers and any spooled bytes. final reports that
@@ -84,10 +96,12 @@ func (s *spoolWriter) commit(final bool) error {
 	}
 	h.Set("Via", "dpcache-dpc/1.0")
 	h.Set("X-Cache", s.rs.cacheState)
+	if f := s.rs.flight; f != nil {
+		f.publishHeaders(ctype, -1)
+	}
 	s.rs.w.WriteHeader(http.StatusOK)
 	if len(s.spool) > 0 {
-		n, err := s.rs.w.Write(s.spool)
-		s.written += int64(n)
+		_, err := s.send(s.spool)
 		s.spool = s.spool[:0]
 		if err != nil {
 			return err

@@ -86,6 +86,12 @@ type Options struct {
 	ExtraHeaderBytes int
 	// ZipfAlpha shapes page popularity.
 	ZipfAlpha float64
+	// Coalesce enables single-flight broadcast coalescing at the measured
+	// system's proxy (SystemConfig.Coalesce) in the live runners.
+	Coalesce bool
+	// Stream enables streaming assembly at the measured system's proxy
+	// (SystemConfig.Stream) in the live runners.
+	Stream bool
 }
 
 // DefaultOptions sizes runs for the CLI: large enough for stable numbers.
@@ -139,6 +145,7 @@ func All() []struct {
 		{"fig3b", Fig3b},
 		{"fig5", Fig5},
 		{"fig6", Fig6},
+		{"pipeline", Pipeline},
 		{"casestudy", CaseStudy},
 		{"baselines", Baselines},
 		{"ablation-codec", AblationCodec},

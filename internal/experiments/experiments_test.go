@@ -28,7 +28,7 @@ func TestTableString(t *testing.T) {
 }
 
 func TestCatalogueComplete(t *testing.T) {
-	want := []string{"table2", "fig2a", "fig2b", "fig3a", "result1", "fig3b", "fig5", "fig6", "casestudy", "baselines",
+	want := []string{"table2", "fig2a", "fig2b", "fig3a", "result1", "fig3b", "fig5", "fig6", "pipeline", "casestudy", "baselines",
 		"ablation-codec", "ablation-strict", "ablation-latency"}
 	all := All()
 	if len(all) != len(want) {
@@ -174,6 +174,32 @@ func TestFig6Live(t *testing.T) {
 	}
 	if last < 40 {
 		t.Fatalf("experimental savings at full cacheability = %v, want substantial", last)
+	}
+}
+
+func TestPipelineLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live experiment")
+	}
+	tab, err := Pipeline(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Without coalescing every served response costs at least one origin
+	// fetch (stale-fallback bypasses can add more); with coalescing,
+	// concurrent identical fetches collapse, so fan-in must not grow
+	// beyond baseline noise.
+	base := cell(t, tab, 0, 1)
+	if base < 0.999 {
+		t.Fatalf("no-coalesce origin fan-in = %v, want >= 1", base)
+	}
+	for i := 1; i < len(tab.Rows); i++ {
+		if v := cell(t, tab, i, 1); v > base+0.1 {
+			t.Fatalf("row %d: coalescing raised origin fan-in to %v (baseline %v)", i, v, base)
+		}
 	}
 }
 

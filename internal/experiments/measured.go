@@ -44,6 +44,8 @@ func runPoint(mode core.Mode, siteCfg site.SyntheticConfig, forcedMiss float64,
 		Seed:             opts.Seed,
 		Latency:          lat,
 		ExtraHeaderBytes: opts.ExtraHeaderBytes,
+		Coalesce:         opts.Coalesce,
+		Stream:           opts.Stream,
 	}, mode)
 	if err != nil {
 		return point{}, site.Manifest{}, err

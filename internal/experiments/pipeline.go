@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"dpcache/internal/core"
+	"dpcache/internal/repository"
+	"dpcache/internal/site"
+	"dpcache/internal/workload"
+)
+
+// Pipeline measures what the request-pipeline knobs (single-flight
+// broadcast coalescing, streaming assembly) buy under the Figure 5
+// workload: origin fan-in (origin fetches per served response) and the
+// time-to-first-byte a parked follower sees when a burst of identical
+// requests lands on one page. With the completed-page handoff the follower
+// TTFB equals the leader's full page time; with live attach it tracks the
+// leader's first chunk.
+func Pipeline(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	configs := []struct {
+		name     string
+		coalesce bool
+		stream   bool
+	}{
+		{"no coalesce", false, false},
+		{"coalesce (barrier)", true, false},
+		{"coalesce+stream (live attach)", true, true},
+	}
+	t := Table{
+		ID:    "pipeline",
+		Title: "Pipeline knobs under the Figure 5 workload: origin fan-in and follower TTFB",
+		Columns: []string{
+			"config", "origin req/resp", "coalesced %", "mean latency", "burst follower TTFB",
+		},
+	}
+	for _, c := range configs {
+		fanIn, coalesced, mean, ttfb, err := runPipelinePoint(opts, c.coalesce, c.stream)
+		if err != nil {
+			return t, fmt.Errorf("pipeline %s: %w", c.name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			c.name, f3(fanIn), f1(coalesced),
+			mean.Round(10 * time.Microsecond).String(),
+			ttfb.Round(10 * time.Microsecond).String(),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"origin req/resp < 1 means coalescing collapsed concurrent identical fetches (origin fan-in stays 1 per flight)",
+		"burst follower TTFB: mean first-byte latency of followers that join while a leader's fetch of the same page is in flight")
+	return t, nil
+}
+
+// runPipelinePoint stands up a cached system with the given pipeline knobs,
+// drives the standard Zipf workload, then probes follower TTFB with a
+// burst of identical requests against one page.
+func runPipelinePoint(opts Options, coalesce, stream bool) (fanIn, coalescedPct float64, mean, ttfb time.Duration, err error) {
+	siteCfg := site.DefaultSynthetic()
+	sys, err := core.NewSystem(core.Config{
+		Capacity:         2 * siteCfg.Pages * siteCfg.FragmentsPerPage,
+		Strict:           true,
+		ForcedMissProb:   0.2, // the Figure 5 h=0.8 operating point
+		Seed:             opts.Seed,
+		Latency:          repository.LatencyModel{QueryDelay: 200 * time.Microsecond},
+		ExtraHeaderBytes: opts.ExtraHeaderBytes,
+		Coalesce:         coalesce,
+		Stream:           stream,
+	}, core.ModeCached)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	sc, _, err := site.BuildSynthetic(siteCfg, sys.Repo)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if err := sys.Register(sc); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if err := sys.Start(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer sys.Close()
+
+	for p := 0; p < siteCfg.Pages; p++ {
+		if err := fetchOnce(fmt.Sprintf("%s/page/synth?page=%d", sys.FrontURL(), p)); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("warmup fetch: %w", err)
+		}
+	}
+
+	z, err := workload.NewZipf(siteCfg.Pages, opts.ZipfAlpha)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	users, err := workload.NewUserPool(0, 0)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	driver := &workload.Driver{
+		BaseURL:     sys.FrontURL(),
+		Gen:         workload.PageGenerator(z, users, "/page/synth"),
+		Concurrency: opts.Concurrency,
+		Seed:        opts.Seed,
+	}
+	origin0 := sys.Registry.Counter("origin.requests").Value()
+	coalesced0 := sys.Registry.Counter("dpc.coalesced").Value()
+	res, err := driver.Run(opts.Requests)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if res.Errors > 0 {
+		return 0, 0, 0, 0, fmt.Errorf("%d of %d requests failed", res.Errors, res.Requests)
+	}
+	fanIn = float64(sys.Registry.Counter("origin.requests").Value()-origin0) / float64(res.Requests)
+	coalescedPct = 100 * float64(sys.Registry.Counter("dpc.coalesced").Value()-coalesced0) / float64(res.Requests)
+	mean = res.Latency.Mean()
+
+	ttfb, err = burstFollowerTTFB(sys.FrontURL()+"/page/synth?page=0", 4)
+	return fanIn, coalescedPct, mean, ttfb, err
+}
+
+// burstFollowerTTFB fires one leader request, then followers while the
+// leader is presumed in flight, and returns the followers' mean
+// time-to-first-body-byte.
+func burstFollowerTTFB(url string, followers int) (time.Duration, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	drain := func() error {
+		resp, err := client.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	leaderErr := make(chan error, 1)
+	go func() { leaderErr <- drain() }()
+
+	var mu sync.Mutex
+	var total time.Duration
+	var firstErr error
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := client.Get(url)
+			if err == nil {
+				br := bufio.NewReader(resp.Body)
+				_, err = br.ReadByte()
+				elapsed := time.Since(start)
+				if err == nil {
+					mu.Lock()
+					total += elapsed
+					mu.Unlock()
+					_, err = io.Copy(io.Discard, br)
+				}
+				resp.Body.Close()
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := <-leaderErr; err != nil {
+		return 0, err
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return total / time.Duration(followers), nil
+}
