@@ -5,20 +5,37 @@
 //
 // The fragment store backend is selectable: the default "slot" backend is
 // the paper's single-lock slot array; "-store sharded" enables the
-// sharded store, optionally byte-budgeted with LRU or GDSF eviction:
+// sharded store, optionally bounded by a byte budget with LRU or GDSF
+// eviction. The budget (-store-budget) is one global ledger shared by all
+// shards — eviction (-evict lru|gdsf) fires only when the store as a
+// whole is over, so skewed key distributions do not evict early:
 //
 //	dpcd -store sharded -shards 32 -store-budget 67108864 -evict gdsf
 //
-// The request path is a staged pipeline (admin, static-cache, coalesce,
-// origin-fetch, assemble, stale-fallback, respond) with per-stage latency
-// histograms served from /_dpc/stats. Single-flight coalescing of identical
-// in-flight origin fetches (-coalesce) and streaming assembly (-stream,
-// with a strict-mode look-ahead spool sized by -spool) are on by default.
-// Coalesced followers attach to the leader's in-progress broadcast and
-// stream it live; -coalesce-buffer caps the per-flight replay buffer, past
-// which late joiners fetch for themselves:
+// The request path is a staged pipeline (admin, static-cache, pagecache,
+// coalesce, origin-fetch, assemble, stale-fallback, respond) with
+// per-stage latency histograms served from /_dpc/stats. Single-flight
+// coalescing of identical in-flight origin fetches (-coalesce) and
+// streaming assembly (-stream, with a strict-mode look-ahead spool sized
+// by -spool) are on by default. Coalesced followers attach to the
+// leader's in-progress broadcast and stream it live; -coalesce-buffer
+// caps the per-flight replay buffer, past which late joiners fetch for
+// themselves:
 //
 //	dpcd -coalesce=false -stream=false   # paper-faithful buffered path
+//
+// -pagecache mounts the whole-page cache tier: complete responses to
+// anonymous-session GETs (no Cookie, Authorization, or X-User header) are
+// cached for -pagecache-ttl — keyed by method, URI, and the forwarded
+// variant headers, the same derivation as the coalesce key — and served
+// with X-Cache: PAGE, so a burst on a hot page costs one origin fetch.
+// Identity-bearing requests bypass the tier. Off by default — a page
+// cache cannot see fragment invalidations, so the TTL is its only
+// staleness bound, and like -coalesce the key excludes the per-client
+// X-Forwarded-For, so origins that vary responses on client IP must not
+// enable it:
+//
+//	dpcd -pagecache -pagecache-ttl 2s -pagecache-entries 4096
 //
 // Store occupancy, byte, and eviction metrics are served from
 // /_dpc/stats, refreshed in the background every -publish interval and,
@@ -51,6 +68,10 @@ func main() {
 	coalesceBuf := flag.Int("coalesce-buffer", 0, "per-flight broadcast buffer cap in bytes before late joiners re-fetch (0 = 4MiB default)")
 	stream := flag.Bool("stream", true, "stream assembled pages to clients instead of buffering whole pages")
 	spool := flag.Int("spool", 0, "strict-mode streaming look-ahead spool in bytes (0 = 64KiB default)")
+	pageCache := flag.Bool("pagecache", false, "cache whole pages for anonymous-session GETs (X-Cache: PAGE)")
+	pageTTL := flag.Duration("pagecache-ttl", 0, "whole-page cache freshness window (0 = 2s default)")
+	pageEntries := flag.Int("pagecache-entries", 0, "whole-page cache resident page bound (0 = 1024 default)")
+	pageBudget := flag.Int64("pagecache-budget", 0, "whole-page cache resident byte bound (0 = unbounded)")
 	publishEvery := flag.Duration("publish", 10*time.Second, "background dpc.store.* gauge refresh interval (0 = disabled)")
 	statusEvery := flag.Duration("status", 0, "log store status at this interval (0 = disabled)")
 	flag.Parse()
@@ -83,14 +104,18 @@ func main() {
 		CoalesceBufferBytes: *coalesceBuf,
 		Stream:              *stream,
 		StreamSpoolBytes:    *spool,
+		PageCache:           *pageCache,
+		PageCacheTTL:        *pageTTL,
+		PageCacheEntries:    *pageEntries,
+		PageCacheBudget:     *pageBudget,
 		PublishInterval:     publish,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	st := store.Stats()
-	fmt.Printf("dpcd: proxying %s on %s (capacity %d, %s codec, strict=%v, coalesce=%v, stream=%v)\n",
-		*originURL, *addr, *capacity, codec.Name(), *strict, *coalesce, *stream)
+	fmt.Printf("dpcd: proxying %s on %s (capacity %d, %s codec, strict=%v, coalesce=%v, stream=%v, pagecache=%v)\n",
+		*originURL, *addr, *capacity, codec.Name(), *strict, *coalesce, *stream, *pageCache)
 	fmt.Printf("dpcd: %s store, %d shard(s), byte budget %d, eviction %s; status at http://%s/_dpc/stats\n",
 		st.Backend, st.Shards, st.ByteBudget, *evict, *addr)
 	if *statusEvery > 0 {

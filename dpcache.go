@@ -77,6 +77,11 @@ type (
 	StoreConfig = fragstore.Config
 	// StoreStats is a point-in-time snapshot of store activity.
 	StoreStats = fragstore.Stats
+	// KeyedStore is the string-keyed, TTL-aware, globally byte-budgeted
+	// sharded store backing the static and whole-page cache tiers.
+	KeyedStore = fragstore.KeyedStore
+	// KeyedStoreConfig parameterizes NewKeyedStore.
+	KeyedStoreConfig = fragstore.KeyedConfig
 )
 
 // Store backend names for StoreConfig.Backend / SystemConfig.StoreBackend.
@@ -91,6 +96,10 @@ const (
 // NewFragmentStore builds a standalone fragment store (most callers
 // instead set SystemConfig.StoreBackend and let the system wire it).
 func NewFragmentStore(cfg StoreConfig) (FragmentStore, error) { return fragstore.New(cfg) }
+
+// NewKeyedStore builds a standalone keyed store (the proxy wires its own
+// for the static and page tiers; see SystemConfig.PageCache*).
+func NewKeyedStore(cfg KeyedStoreConfig) (*KeyedStore, error) { return fragstore.NewKeyed(cfg) }
 
 // System modes.
 const (

@@ -108,6 +108,20 @@ type Config struct {
 	// Stream enables streaming assembly at each proxy: pages are written
 	// to the client as templates decode instead of being buffered whole.
 	Stream bool
+	// PageCache mounts each proxy's whole-page cache stage (ahead of
+	// coalesce): complete responses to anonymous-session GETs are cached
+	// by URL for PageCacheTTL and served with X-Cache: PAGE;
+	// identity-bearing requests bypass the stage.
+	PageCache bool
+	// PageCacheTTL bounds page-cache staleness (0 selects the dpc
+	// default, 2s).
+	PageCacheTTL time.Duration
+	// PageCacheEntries bounds each proxy's resident pages (0 selects the
+	// dpc default, 1024).
+	PageCacheEntries int
+	// PageCacheBudget bounds each proxy's resident page bytes (0 =
+	// unbounded).
+	PageCacheBudget int64
 	// StreamSpoolBytes bounds the strict-mode look-ahead spool used by
 	// streaming assembly (0 selects the dpc default, 64 KiB).
 	StreamSpoolBytes int
@@ -166,6 +180,10 @@ func (c Config) proxyConfig(originURL string, store fragstore.FragmentStore, reg
 		CoalesceBufferBytes: c.CoalesceBufferBytes,
 		Stream:              c.Stream,
 		StreamSpoolBytes:    c.StreamSpoolBytes,
+		PageCache:           c.PageCache,
+		PageCacheTTL:        c.PageCacheTTL,
+		PageCacheEntries:    c.PageCacheEntries,
+		PageCacheBudget:     c.PageCacheBudget,
 		PublishInterval:     c.PublishInterval,
 		Registry:            reg,
 	}

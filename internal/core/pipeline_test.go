@@ -31,6 +31,38 @@ func TestStreamingSystemServesIdenticalPages(t *testing.T) {
 	}
 }
 
+// SystemConfig.PageCache must thread through to the proxy: an anonymous
+// revisit is served from the whole-page tier (one origin request), and
+// identified traffic still takes the fragment path.
+func TestSystemPageCacheServesAnonymousRevisits(t *testing.T) {
+	sys := startSynthetic(t, ModeCached, Config{
+		Capacity: 256, Strict: true, Seed: 1,
+		PageCache: true, PageCacheTTL: time.Minute,
+	})
+	want := fetch(t, sys.FrontURL()+"/page/synth?page=0", "")
+	origin0 := sys.Registry.Counter("origin.requests").Value()
+	for i := 0; i < 5; i++ {
+		if got := fetch(t, sys.FrontURL()+"/page/synth?page=0", ""); got != want {
+			t.Fatalf("revisit %d diverged from the first page", i)
+		}
+	}
+	if d := sys.Registry.Counter("origin.requests").Value() - origin0; d != 0 {
+		t.Fatalf("anonymous revisits cost %d origin requests, want 0", d)
+	}
+	if hits := sys.Registry.Counter("dpc.pagecache_hits").Value(); hits != 5 {
+		t.Fatalf("dpc.pagecache_hits = %d, want 5", hits)
+	}
+	// Identified traffic bypasses the tier (and must still be correct).
+	if got := fetch(t, sys.FrontURL()+"/page/synth?page=0", "u1"); got != want {
+		// The synthetic site's layout is user-independent, so the bodies
+		// match; what matters is the path taken.
+		t.Fatalf("identified fetch diverged: %q", got)
+	}
+	if b := sys.Registry.Counter("dpc.pagecache_bypass_identity").Value(); b != 1 {
+		t.Fatalf("dpc.pagecache_bypass_identity = %d, want 1", b)
+	}
+}
+
 // A concurrent burst of identical requests against a coalescing system
 // must serve everyone the same intact page.
 func TestCoalescingSystemSurvivesStorm(t *testing.T) {

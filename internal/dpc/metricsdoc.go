@@ -1,0 +1,85 @@
+package dpc
+
+// This file is the single source of truth for the proxy's metric surface.
+// docs/METRICS.md documents exactly this catalog, and TestMetricsDocumented
+// fails when either side drifts: a metric added in code without a catalog
+// entry, a catalog entry without documentation, or documentation for a
+// metric that no longer exists.
+
+// MetricDoc describes one metric the proxy publishes.
+type MetricDoc struct {
+	// Name is the full metric name as it appears in registry snapshots
+	// and /_dpc/stats.
+	Name string
+	// Type is "counter", "gauge", or "histogram". Histograms appear in
+	// snapshots as <name>.count and <name>.mean_ns.
+	Type string
+	// When says when the metric moves.
+	When string
+}
+
+// pipelineStageNames lists the request-pipeline stages in execution
+// order; each owns a dpc.stage.<name>.latency histogram. New keeps its
+// stage list consistent with this (asserted by TestMetricsDocumented).
+var pipelineStageNames = []string{
+	"admin", "static-cache", "pagecache", "coalesce",
+	"origin-fetch", "assemble", "stale-fallback", "respond",
+}
+
+// MetricCatalog enumerates every dpc.* metric the proxy can publish —
+// request counters, cache-tier counters, dpc.store.* gauges, and the
+// latency histograms.
+func MetricCatalog() []MetricDoc {
+	c := []MetricDoc{
+		// Request path.
+		{"dpc.requests", "counter", "every served response (hit, miss, coalesced, bypass, streamed), counted once in the respond stage"},
+		{"dpc.errors", "counter", "a request fails mid-pipeline (502 or aborted stream)"},
+		{"dpc.assembled", "counter", "a template is assembled into a page (buffered or streamed)"},
+		{"dpc.streamed", "counter", "a streamed assembly completes cleanly to the client"},
+		{"dpc.plain_passthrough", "counter", "a non-template origin response is passed through"},
+		{"dpc.template_bytes", "counter", "template bytes read from the origin (cumulative)"},
+		{"dpc.page_bytes", "counter", "assembled page bytes produced (cumulative)"},
+		{"dpc.gets", "counter", "GET instructions executed against the fragment store"},
+		{"dpc.sets", "counter", "SET instructions executed against the fragment store"},
+		// Staleness recovery.
+		{"dpc.stale_fallbacks", "counter", "an assembly found stale slots and recovered with a bypass fetch"},
+		{"dpc.stream_aborts", "counter", "staleness past the streaming spool tore an in-flight response"},
+		{"dpc.stale_reports", "counter", "an out-of-band stale report was delivered to the BEM after a torn stream"},
+		// Coalescing.
+		{"dpc.coalesced", "counter", "a follower was served its leader's broadcast page"},
+		{"dpc.coalesce_fallbacks", "counter", "a leader aborted before a follower committed; the follower re-fetched"},
+		{"dpc.coalesce_overflows", "counter", "a flight sealed past its buffer cap (late joiner or lagging follower re-fetched)"},
+		// Static cache tier.
+		{"dpc.static_hits", "counter", "a request was served from the URL-keyed static cache"},
+		{"dpc.static_uncacheable_vary", "counter", "a cacheable response was refused because it varies on a non-allowlisted header"},
+		// Whole-page cache tier.
+		{"dpc.pagecache_hits", "counter", "an anonymous GET was served whole from the page tier (X-Cache: PAGE)"},
+		{"dpc.pagecache_misses", "counter", "an anonymous GET missed the page tier and continued down the pipeline"},
+		{"dpc.pagecache_fills", "counter", "a completed anonymous response was filed into the page tier"},
+		{"dpc.pagecache_bypass_identity", "counter", "a request carried identity (Cookie, Authorization, X-User) and bypassed the page tier"},
+		{"dpc.pagecache_uncacheable", "counter", "a captured response was not cacheable (non-200, over the capture bound, no-store/private, or Set-Cookie)"},
+		// Fragment store occupancy (refreshed by the background publisher
+		// and on each /_dpc/stats request).
+		{"dpc.store.capacity", "gauge", "the store's key-space size"},
+		{"dpc.store.shards", "gauge", "the store's shard count"},
+		{"dpc.store.resident", "gauge", "entries currently resident"},
+		{"dpc.store.bytes", "gauge", "resident content bytes"},
+		{"dpc.store.byte_budget", "gauge", "the configured global byte budget (0 = unbounded)"},
+		{"dpc.store.sets", "gauge", "store SET operations since creation"},
+		{"dpc.store.hits", "gauge", "store GET hits since creation"},
+		{"dpc.store.misses", "gauge", "store GET misses since creation"},
+		{"dpc.store.drops", "gauge", "entries dropped by invalidation since creation"},
+		{"dpc.store.evictions", "gauge", "entries evicted by the budget policy since creation"},
+		{"dpc.store.evicted_bytes", "gauge", "cumulative bytes evicted by the budget policy"},
+		// Latency.
+		{"dpc.latency", "histogram", "end-to-end latency of every served response"},
+	}
+	for _, name := range pipelineStageNames {
+		c = append(c, MetricDoc{
+			Name: "dpc.stage." + name + ".latency",
+			Type: "histogram",
+			When: "time spent in the " + name + " pipeline stage, per request that entered it",
+		})
+	}
+	return c
+}

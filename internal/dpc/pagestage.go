@@ -1,0 +1,208 @@
+package dpc
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The pagecache stage is the whole-page cache tier: a cache of complete
+// responses keyed like a coalesced flight (method, URI, forwarded
+// variant headers), mounted ahead of coalesce, for anonymous-session
+// traffic only. The paper's correctness argument against page-level
+// caching (Section 3.2.1) is that the URL does not identify the content —
+// but that argument rests on identity the cache cannot see. A request
+// carrying no identity (no Cookie, Authorization, or X-User) gives the
+// origin nothing to personalize on, so for that slice of traffic the URL
+// *does* identify the content and a short-TTL whole-page tier is sound:
+// an anonymous burst on a hot page is served N−1 times from memory with
+// one origin fetch. Identity-bearing requests bypass the stage
+// (dpc.pagecache_bypass_identity) and take the fragment-assembly path.
+//
+// Staleness is bounded by PageCacheTTL alone — a page cache cannot see
+// fragment invalidations, which is exactly why the tier refuses to hold
+// pages longer than a micro-caching window unless told to.
+
+// defaultPageTTL is the page-cache freshness window when
+// Config.PageCacheTTL is zero: a micro-caching TTL, long enough to absorb
+// a burst, short enough that fragment-level invalidation lag stays
+// invisible at human timescales.
+const defaultPageTTL = 2 * time.Second
+
+// maxPageCaptureBytes bounds the response bytes teed aside to fill the
+// page cache; larger pages are served normally but not captured
+// (dpc.pagecache_uncacheable).
+const maxPageCaptureBytes = 1 << 20
+
+// pageIdentityHeaders mark a request as belonging to an identified
+// session. Any of them present → the response may be personalized → the
+// whole-page tier must not serve or store it.
+var pageIdentityHeaders = []string{"X-User", "Cookie", "Authorization"}
+
+// anonymousSession reports whether the request carries no identity the
+// origin could personalize on.
+func anonymousSession(r *http.Request) bool {
+	for _, h := range pageIdentityHeaders {
+		if r.Header.Get(h) != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// pageKey identifies a cached page. It is the coalesce key — method, full
+// request URI, and every forwarded header the origin may vary a response
+// on (Accept, Accept-Language, User-Agent, X-Requested-With, …) — so two
+// requests share a cached page exactly when they would have shared a
+// coalesced fetch: only if the origin would have produced byte-identical
+// responses for both. Keying on the URL alone would hand one client's
+// variant (a French page, a JSON XHR body) to another. The identity
+// headers in the key are always empty here: identity-bearing requests
+// bypassed the stage already.
+func pageKey(r *http.Request) string { return coalesceKey(r) }
+
+// pageCacheable inspects an *origin* response's headers (the proxy does
+// not relay them to clients, so the capture cannot be consulted) and
+// reports whether the page may enter the page tier: the origin did not
+// forbid caching (Cache-Control: no-store, no-cache, private — checked
+// across every Cache-Control header line) and set no cookie (a
+// Set-Cookie response is per-client state even on an anonymous request).
+// Vary needs no check here — every *header* the origin can vary on is
+// either folded into pageKey or never forwarded. The one non-header
+// exclusion is client IP: X-Forwarded-For is deliberately outside
+// pageKey (as it is outside the coalesce key, and for the same reason —
+// it differs per client and would disable the tier outright), so origins
+// that vary responses on client IP must not enable PageCache.
+func pageCacheable(h http.Header) bool {
+	if h.Get("Set-Cookie") != "" {
+		return false
+	}
+	for _, v := range h.Values("Cache-Control") {
+		for _, part := range strings.Split(v, ",") {
+			switch strings.TrimSpace(strings.ToLower(part)) {
+			case "no-store", "no-cache", "private":
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// --- pagecache ---
+
+func (p *Proxy) stagePageCache(rs *reqState) (stageOutcome, error) {
+	// Bodyless GETs only, the coalescable() discipline: a request body is
+	// forwarded to the origin and can vary the response, but is not part
+	// of pageKey — caching a bodied GET would serve one body's page to
+	// another.
+	if p.pages == nil || rs.r.Method != http.MethodGet ||
+		rs.r.ContentLength != 0 || len(rs.r.TransferEncoding) > 0 {
+		return stageNext, nil
+	}
+	if !anonymousSession(rs.r) {
+		p.reg.Counter("dpc.pagecache_bypass_identity").Inc()
+		return stageNext, nil
+	}
+	key := pageKey(rs.r)
+	if body, ctype, ok := p.pages.Get(key); ok {
+		p.reg.Counter("dpc.pagecache_hits").Inc()
+		rs.body, rs.ctype, rs.cacheState = body, ctype, "PAGE"
+		return stageRespond, nil
+	}
+	p.reg.Counter("dpc.pagecache_misses").Inc()
+	// Tee everything the rest of the pipeline writes to this client —
+	// buffered page, streamed assembly, coalesced broadcast — into a
+	// bounded side buffer; stageRespond files it under this key.
+	rs.pageKey = key
+	pc := &pageCapture{ResponseWriter: rs.w}
+	rs.pageCapture = pc
+	rs.w = pc
+	return stageNext, nil
+}
+
+// fillPageCache files a captured response into the whole-page tier; called
+// from the respond stage once the response has fully reached the client.
+func (p *Proxy) fillPageCache(rs *reqState) {
+	c := rs.pageCapture
+	if p.pages == nil || c == nil {
+		return
+	}
+	if rs.staticFilled {
+		// The body just entered the static tier, whose stage runs first
+		// and whose TTL the origin chose; a page-tier copy would be dead
+		// weight duplicating the bytes.
+		return
+	}
+	if rs.cacheState == "COALESCED" {
+		// pageKey == coalesce key, so the flight's leader is filling this
+		// exact key (with origin-header knowledge the follower lacks).
+		return
+	}
+	if c.status != http.StatusOK || c.overflow || rs.pageUncacheable {
+		p.reg.Counter("dpc.pagecache_uncacheable").Inc()
+		return
+	}
+	if c.discarded {
+		// The capture was dropped mid-request for a reason none of the
+		// cases above explain (e.g. this request parked as a follower,
+		// then the leader aborted and it fell back to its own fetch):
+		// the buffer no longer holds the page. Filing it would poison
+		// the key with an empty body.
+		return
+	}
+	p.pages.Put(rs.pageKey, c.buf.Bytes(), c.Header().Get("Content-Type"), p.pageTTL)
+	p.reg.Counter("dpc.pagecache_fills").Inc()
+}
+
+// pageCapture tees a response into a bounded buffer on its way to the
+// client. It deliberately wraps every downstream write path — writePage,
+// streamPlain, the streaming spool, a coalesced follower's replay — so
+// the page cache fills regardless of which pipeline branch produced the
+// page.
+type pageCapture struct {
+	http.ResponseWriter
+	status    int
+	buf       bytes.Buffer
+	overflow  bool
+	discarded bool // the fill is already known moot; stop buffering
+}
+
+// discard drops the retained bytes and stops buffering: called as soon as
+// a request learns its fill can never be used (it became a coalesced
+// follower — the leader fills the same key — or its body already entered
+// the static tier), so a hot burst does not copy the page N extra times.
+func (c *pageCapture) discard() {
+	c.buf = bytes.Buffer{}
+	c.discarded = true
+}
+
+func (c *pageCapture) WriteHeader(code int) {
+	if c.status == 0 {
+		c.status = code
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *pageCapture) Write(b []byte) (int, error) {
+	if c.status == 0 {
+		c.status = http.StatusOK
+	}
+	if !c.overflow && !c.discarded {
+		if c.buf.Len()+len(b) <= maxPageCaptureBytes {
+			c.buf.Write(b)
+		} else {
+			c.overflow = true
+			c.buf = bytes.Buffer{} // release what was retained
+		}
+	}
+	return c.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so streaming paths keep their
+// flush-per-chunk behavior through the tee.
+func (c *pageCapture) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -17,8 +17,8 @@ import (
 
 // The request path is an explicit pipeline of named stages:
 //
-//	admin → static-cache → coalesce → origin-fetch → assemble →
-//	stale-fallback → respond
+//	admin → static-cache → pagecache → coalesce → origin-fetch →
+//	assemble → stale-fallback → respond
 //
 // Each stage owns a latency histogram (dpc.stage.<name>.latency) so
 // per-stage cost is observable from /_dpc/stats, and each can short-circuit
@@ -81,6 +81,20 @@ type reqState struct {
 
 	// flight is non-nil while this request leads a coalesced fetch.
 	flight *flight
+
+	// pageKey/pageCapture are set by the pagecache stage on a cacheable
+	// miss: w is wrapped so the outgoing response is teed aside, and
+	// respond files it under pageKey.
+	pageKey     string
+	pageCapture *pageCapture
+	// pageUncacheable records that the origin's response headers forbade
+	// page caching (no-store/no-cache/private or Set-Cookie); the proxy
+	// strips origin headers before the client sees them, so this is
+	// decided at fetch time, not from the capture.
+	pageUncacheable bool
+	// staticFilled records that origin-fetch stored this response in the
+	// static tier, so the page tier need not duplicate it.
+	staticFilled bool
 }
 
 // --- admin ---
@@ -100,7 +114,7 @@ func (p *Proxy) stageStaticCache(rs *reqState) (stageOutcome, error) {
 	if p.static == nil || (rs.r.Method != http.MethodGet && rs.r.Method != http.MethodHead) {
 		return stageNext, nil
 	}
-	body, ctype, ok := p.static.Get(rs.r.URL.RequestURI())
+	body, ctype, ok := p.static.Get(staticKey(rs.r))
 	if !ok {
 		return stageNext, nil
 	}
@@ -125,6 +139,11 @@ func (p *Proxy) stageCoalesce(rs *reqState) (stageOutcome, error) {
 		// arrived: the replay window is gone, so fetch independently.
 		p.reg.Counter("dpc.coalesce_overflows").Inc()
 		return stageNext, nil
+	}
+	if rs.pageCapture != nil {
+		// The leader is filling this page key; buffering a duplicate
+		// through the follower's tee would be copied and dropped.
+		rs.pageCapture.discard()
 	}
 	return p.serveFollower(rs, f, fol)
 }
@@ -306,6 +325,10 @@ func (p *Proxy) stageOriginFetch(rs *reqState) (stageOutcome, error) {
 	if err != nil {
 		return stageNext, err
 	}
+	if rs.pageCapture != nil && !pageCacheable(resp.Header) {
+		rs.pageUncacheable = true
+		rs.pageCapture.discard()
+	}
 	ctype := resp.Header.Get("Content-Type")
 	codecName := resp.Header.Get(headerTemplate)
 	if codecName == "" {
@@ -319,8 +342,9 @@ func (p *Proxy) stageOriginFetch(rs *reqState) (stageOutcome, error) {
 			var varied bool
 			ttl, varied = cacheableStatic(resp)
 			if varied {
-				// Cacheable by Cache-Control but carrying Vary: a URL-keyed
-				// entry would serve one variant to every client.
+				// Cacheable by Cache-Control but varying on a header the
+				// static key does not fold in: a URL-keyed entry would
+				// serve one variant to every client.
 				p.reg.Counter("dpc.static_uncacheable_vary").Inc()
 			}
 		}
@@ -340,7 +364,11 @@ func (p *Proxy) stageOriginFetch(rs *reqState) (stageOutcome, error) {
 			return stageNext, err
 		}
 		if ttl > 0 {
-			p.static.Put(rs.r.URL.RequestURI(), body, ctype, ttl)
+			p.static.Put(staticKey(rs.r), body, ctype, ttl)
+			rs.staticFilled = true
+			if rs.pageCapture != nil {
+				rs.pageCapture.discard() // the static tier owns this body now
+			}
 		}
 		rs.body = body
 		return stageRespond, nil
@@ -520,6 +548,10 @@ func (p *Proxy) stageStaleFallback(rs *reqState) (stageOutcome, error) {
 		return stageNext, err
 	}
 	defer resp.Body.Close()
+	if rs.pageCapture != nil && !pageCacheable(resp.Header) {
+		rs.pageUncacheable = true
+		rs.pageCapture.discard()
+	}
 	rs.ctype, rs.cacheState = resp.Header.Get("Content-Type"), "BYPASS"
 	if name := resp.Header.Get(headerTemplate); name != "" {
 		// An origin that ignores the bypass header still gets one
@@ -565,6 +597,7 @@ func (p *Proxy) stageRespond(rs *reqState) (stageOutcome, error) {
 	if !rs.streamed {
 		p.writePage(rs.w, rs.body, rs.ctype, rs.cacheState)
 	}
+	p.fillPageCache(rs)
 	// Every served response — hit, miss, coalesced, bypass, streamed —
 	// is counted here and nowhere else.
 	p.reg.Counter("dpc.requests").Inc()

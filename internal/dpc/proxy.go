@@ -12,6 +12,7 @@ import (
 	"dpcache/internal/clock"
 	"dpcache/internal/fragstore"
 	"dpcache/internal/metrics"
+	"dpcache/internal/pagecache"
 	"dpcache/internal/tmpl"
 )
 
@@ -82,18 +83,41 @@ type Config struct {
 	StaticCacheEntries int
 	// StaticClock overrides the static cache's expiry clock (tests).
 	StaticClock clock.Clock
+	// PageCache mounts the whole-page cache stage ahead of coalesce:
+	// complete responses to anonymous-session GETs (no Cookie,
+	// Authorization, or X-User) are cached for PageCacheTTL — keyed like
+	// a coalesced flight (method, URI, forwarded variant headers) — and
+	// served with X-Cache: PAGE. Identity-bearing requests bypass the
+	// stage. Off by default — a page cache cannot see fragment
+	// invalidations, so enabling it trades bounded staleness for burst
+	// absorption. Like Coalesce, the key excludes the per-client
+	// X-Forwarded-For: origins that vary responses on client IP
+	// (geo-targeting) must not enable PageCache.
+	PageCache bool
+	// PageCacheTTL bounds page-cache staleness (0 selects the 2s
+	// micro-caching default).
+	PageCacheTTL time.Duration
+	// PageCacheEntries bounds resident pages (0 selects 1024).
+	PageCacheEntries int
+	// PageCacheBudget bounds resident page bytes across the tier (0 =
+	// unbounded); enforced by the keyed store's global ledger.
+	PageCacheBudget int64
+	// PageClock overrides the page cache's expiry clock (tests).
+	PageClock clock.Clock
 }
 
 // Proxy is the Dynamic Proxy Cache in reverse-proxy mode: it fronts the
 // origin, stores fragments, and assembles pages. Requests flow through an
 // explicit stage pipeline (see pipeline.go).
 type Proxy struct {
-	cfg    Config
-	store  fragstore.FragmentStore
-	asm    *Assembler
-	static *StaticCache // nil when disabled
-	client *http.Client
-	reg    *metrics.Registry
+	cfg     Config
+	store   fragstore.FragmentStore
+	asm     *Assembler
+	static  *StaticCache     // nil when disabled
+	pages   *pagecache.Cache // nil when disabled
+	pageTTL time.Duration
+	client  *http.Client
+	reg     *metrics.Registry
 
 	stages     []*Stage
 	respondIdx int
@@ -140,14 +164,32 @@ func New(cfg Config) (*Proxy, error) {
 	if spool <= 0 {
 		spool = defaultSpoolBytes
 	}
+	var pages *pagecache.Cache
+	pageTTL := cfg.PageCacheTTL
+	if pageTTL <= 0 {
+		pageTTL = defaultPageTTL
+	}
+	if cfg.PageCache {
+		var err error
+		pages, err = pagecache.NewCache(pagecache.CacheConfig{
+			MaxEntries: cfg.PageCacheEntries,
+			ByteBudget: cfg.PageCacheBudget,
+			Clock:      cfg.PageClock,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	p := &Proxy{
-		cfg:    cfg,
-		store:  store,
-		asm:    NewAssembler(store, codec, cfg.Strict),
-		static: static,
-		client: &http.Client{Transport: transport, Timeout: 30 * time.Second},
-		reg:    reg,
-		spool:  spool,
+		cfg:     cfg,
+		store:   store,
+		asm:     NewAssembler(store, codec, cfg.Strict),
+		static:  static,
+		pages:   pages,
+		pageTTL: pageTTL,
+		client:  &http.Client{Transport: transport, Timeout: 30 * time.Second},
+		reg:     reg,
+		spool:   spool,
 	}
 	if cfg.Coalesce {
 		p.flights = newFlightGroup(cfg.CoalesceBufferBytes)
@@ -155,6 +197,7 @@ func New(cfg Config) (*Proxy, error) {
 	p.stages = []*Stage{
 		p.newStage("admin", p.stageAdmin),
 		p.newStage("static-cache", p.stageStaticCache),
+		p.newStage("pagecache", p.stagePageCache),
 		p.newStage("coalesce", p.stageCoalesce),
 		p.newStage("origin-fetch", p.stageOriginFetch),
 		p.newStage("assemble", p.stageAssemble),
@@ -199,6 +242,9 @@ func (p *Proxy) Close() error {
 
 // Static exposes the URL-keyed static-content cache (nil when disabled).
 func (p *Proxy) Static() *StaticCache { return p.static }
+
+// Pages exposes the whole-page cache tier (nil unless Config.PageCache).
+func (p *Proxy) Pages() *pagecache.Cache { return p.pages }
 
 // Store exposes the fragment store (the coherency extension drops slots
 // through it).
@@ -245,8 +291,20 @@ func (p *Proxy) initAdmin() {
 			"fragment_bytes": st.Bytes,
 		}
 		if p.static != nil {
-			hits, misses := p.static.Stats()
-			out["static"] = map[string]any{"entries": p.static.Len(), "hits": hits, "misses": misses}
+			ss := p.static.Store().Stats()
+			out["static"] = map[string]any{
+				"entries": ss.Resident, "bytes": ss.Bytes,
+				"hits": ss.Hits, "misses": ss.Misses,
+				"evictions": ss.Evictions, "expired": ss.Expired,
+			}
+		}
+		if p.pages != nil {
+			ps := p.pages.Stats()
+			out["pagecache"] = map[string]any{
+				"entries": ps.Resident, "bytes": ps.Bytes,
+				"hits": ps.Hits, "misses": ps.Misses,
+				"evictions": ps.Evictions, "expired": ps.Expired,
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(out)

@@ -1,14 +1,14 @@
 package dpc
 
 import (
-	"container/list"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"dpcache/internal/clock"
+	"dpcache/internal/pagecache"
 )
 
 // StaticCache is the conventional URL-keyed cache the DPC also runs
@@ -19,100 +19,33 @@ import (
 //
 // Only responses the origin explicitly marks with Cache-Control: max-age
 // are cached, and never template responses — dynamic pages must not be
-// URL-keyed, which is the paper's core correctness argument. Entries are
-// LRU-evicted beyond MaxEntries and lazily expired.
+// URL-keyed, which is the paper's core correctness argument. Storage is
+// the same wrapper the whole-page tier uses (pagecache.Cache over
+// fragstore.KeyedStore — sharded, globally byte-ledgered), so this tier
+// carries no locking or eviction logic of its own: the keyed store owns
+// LRU eviction beyond MaxEntries and lazy TTL expiry. Only the keying
+// policy (staticKey's Vary fold) and admission rules (cacheableStatic)
+// live here.
 type StaticCache struct {
-	mu         sync.Mutex
-	entries    map[string]*list.Element
-	lru        *list.List // front = most recent
-	maxEntries int
-	clk        clock.Clock
-
-	hits, misses int64
-}
-
-type staticEntry struct {
-	url     string
-	body    []byte
-	ctype   string
-	expires time.Time
+	*pagecache.Cache
 }
 
 // NewStaticCache returns a cache bounded to maxEntries (<=0 selects 1024).
 // A nil clk uses the real clock.
 func NewStaticCache(maxEntries int, clk clock.Clock) *StaticCache {
-	if maxEntries <= 0 {
-		maxEntries = 1024
+	c, err := pagecache.NewCache(pagecache.CacheConfig{MaxEntries: maxEntries, Clock: clk})
+	if err != nil {
+		// Only an unknown eviction name can fail, and none is passed.
+		panic(err)
 	}
-	if clk == nil {
-		clk = clock.Real{}
-	}
-	return &StaticCache{
-		entries:    make(map[string]*list.Element),
-		lru:        list.New(),
-		maxEntries: maxEntries,
-		clk:        clk,
-	}
+	return &StaticCache{Cache: c}
 }
 
-// Get returns a cached body and content type for the URL, if fresh.
-func (c *StaticCache) Get(url string) (body []byte, contentType string, ok bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, found := c.entries[url]
-	if !found {
-		c.misses++
-		return nil, "", false
-	}
-	e := el.Value.(*staticEntry)
-	if !c.clk.Now().Before(e.expires) {
-		c.lru.Remove(el)
-		delete(c.entries, url)
-		c.misses++
-		return nil, "", false
-	}
-	c.lru.MoveToFront(el)
-	c.hits++
-	return e.body, e.ctype, true
-}
-
-// Put stores a response body under the URL for ttl. Non-positive ttl is
-// ignored.
-func (c *StaticCache) Put(url string, body []byte, contentType string, ttl time.Duration) {
-	if ttl <= 0 {
-		return
-	}
-	cp := make([]byte, len(body))
-	copy(cp, body)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, found := c.entries[url]; found {
-		e := el.Value.(*staticEntry)
-		e.body, e.ctype, e.expires = cp, contentType, c.clk.Now().Add(ttl)
-		c.lru.MoveToFront(el)
-		return
-	}
-	for c.lru.Len() >= c.maxEntries {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*staticEntry).url)
-	}
-	el := c.lru.PushFront(&staticEntry{url: url, body: cp, ctype: contentType, expires: c.clk.Now().Add(ttl)})
-	c.entries[url] = el
-}
-
-// Len returns the resident entry count.
-func (c *StaticCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
-}
-
-// Stats returns hit and miss counts.
+// Stats returns hit and miss counts (the full keyed-store snapshot is
+// available via Store().Stats()).
 func (c *StaticCache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	st := c.Cache.Stats()
+	return st.Hits, st.Misses
 }
 
 // maxAgeFrom parses Cache-Control for a positive max-age; no-store and
@@ -138,13 +71,71 @@ func maxAgeFrom(cacheControl string) time.Duration {
 	return age
 }
 
+// staticVaryAllowlist names the Vary request headers the static tier can
+// serve correctly by folding the header's request value into the store
+// key (see staticKey). Everything else makes a response uncacheable here:
+// the cache is URL-keyed, and a variant served under a bare URL key would
+// reach every client regardless of what they sent.
+//
+// Accept-Encoding is safe because the proxy always fetches and serves the
+// identity encoding (it strips Accept-Encoding toward the origin — it
+// must see templates uncompressed), so keyed variants differ at most in
+// name; correctness never depends on matching an encoded body to the
+// client.
+var staticVaryAllowlist = map[string]bool{
+	"Accept-Encoding": true,
+}
+
+// staticKey builds the static tier's store key for a request: the full
+// request URI plus the request's values for every allowlisted Vary header.
+// Folding them in unconditionally (rather than per-entry Vary metadata)
+// keeps lookups a single Get. The cost is duplication: today the proxy
+// strips Accept-Encoding toward the origin and always serves identity
+// encoding, so the folded variants hold byte-identical bodies and a
+// non-varying asset is resident once per distinct client encoding
+// preference. The sorted-token normalization below bounds that to the
+// handful of genuinely different preference sets browsers send; the fold
+// itself is kept so the key is already correct if the proxy ever starts
+// negotiating encodings.
+func staticKey(r *http.Request) string {
+	var b strings.Builder
+	b.WriteString(r.URL.RequestURI())
+	b.WriteByte(0)
+	b.WriteString(normalizeVariant(r.Header.Get("Accept-Encoding")))
+	return b.String()
+}
+
+// normalizeVariant canonicalizes a variant header value to a sorted,
+// deduplicated, lowercased token set, so different spellings and
+// orderings of the same preference ("gzip, br" vs "BR,gzip", trailing
+// commas, repeated tokens) share one cache entry. Quality values are
+// kept as part of the token — a preference with q-weights is a genuinely
+// different ask.
+func normalizeVariant(v string) string {
+	if v == "" {
+		return ""
+	}
+	tokens := strings.Split(strings.ToLower(strings.ReplaceAll(v, " ", "")), ",")
+	sort.Strings(tokens)
+	out := tokens[:0]
+	for _, tok := range tokens {
+		if tok == "" || (len(out) > 0 && out[len(out)-1] == tok) {
+			continue
+		}
+		out = append(out, tok)
+	}
+	return strings.Join(out, ",")
+}
+
 // cacheableStatic reports whether a proxied response may enter the static
-// cache: 200, explicitly cacheable, not a template, and carrying no Vary.
-// The cache is URL-keyed, so a response the origin varies on any request
-// header (Vary: Cookie, Accept-Encoding, …) would be served to every
-// client regardless of their variant; such responses are refused. varied
-// reports that Vary alone blocked an otherwise-cacheable response, so the
-// caller can count the refusals (dpc.static_uncacheable_vary).
+// cache: 200, explicitly cacheable, not a template, and carrying no Vary
+// beyond the allowlist. The cache is URL-keyed (plus the allowlisted
+// variant fold), so a response the origin varies on any other request
+// header (Vary: Cookie, Vary: User-Agent, …) would be served to clients
+// that sent different values; such responses are refused. varied reports
+// that a non-allowlisted Vary alone blocked an otherwise-cacheable
+// response, so the caller can count the remaining refusals
+// (dpc.static_uncacheable_vary).
 func cacheableStatic(resp *http.Response) (ttl time.Duration, varied bool) {
 	if resp.StatusCode != http.StatusOK {
 		return 0, false
@@ -152,9 +143,29 @@ func cacheableStatic(resp *http.Response) (ttl time.Duration, varied bool) {
 	if resp.Header.Get(headerTemplate) != "" {
 		return 0, false // dynamic: never URL-keyed (Section 3.2.1)
 	}
-	age := maxAgeFrom(resp.Header.Get("Cache-Control"))
-	if age > 0 && resp.Header.Get("Vary") != "" {
+	// Join every Cache-Control line before parsing: directives may
+	// legally arrive on separate header lines, and a no-store on the
+	// second line must veto a max-age on the first.
+	age := maxAgeFrom(strings.Join(resp.Header.Values("Cache-Control"), ","))
+	if age > 0 && !varyAllowlisted(resp.Header) {
 		return 0, true
 	}
 	return age, false
+}
+
+// varyAllowlisted reports whether every header named by Vary is one the
+// static tier folds into its key. "Vary: *" is never cacheable.
+func varyAllowlisted(h http.Header) bool {
+	for _, v := range h.Values("Vary") {
+		for _, name := range strings.Split(v, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !staticVaryAllowlist[http.CanonicalHeaderKey(name)] {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -74,6 +75,115 @@ func TestStaticCacheVaryNotCrossServed(t *testing.T) {
 	}
 	if got := p.Registry().Counter("dpc.static_uncacheable_vary").Value(); got != 2 {
 		t.Fatalf("dpc.static_uncacheable_vary = %d, want 2", got)
+	}
+}
+
+// Vary: Accept-Encoding is allowlisted: the varied header's request value
+// is folded into the store key, so such responses ARE cacheable — per
+// variant — and are not counted as refusals.
+func TestCacheableStaticAllowsVaryAcceptEncoding(t *testing.T) {
+	resp := &http.Response{StatusCode: http.StatusOK, Header: http.Header{
+		"Cache-Control": {"max-age=60"}, "Vary": {"Accept-Encoding"},
+	}}
+	ttl, varied := cacheableStatic(resp)
+	if ttl != time.Minute || varied {
+		t.Fatalf("Vary: Accept-Encoding: ttl=%v varied=%v, want cacheable and uncounted", ttl, varied)
+	}
+	// A mixed Vary with a non-allowlisted member is still refused.
+	resp.Header.Set("Vary", "Accept-Encoding, Cookie")
+	if ttl, varied = cacheableStatic(resp); ttl != 0 || !varied {
+		t.Fatalf("Vary: Accept-Encoding, Cookie: ttl=%v varied=%v, want refused and counted", ttl, varied)
+	}
+	resp.Header.Set("Vary", "*")
+	if ttl, varied = cacheableStatic(resp); ttl != 0 || !varied {
+		t.Fatalf("Vary: *: ttl=%v varied=%v, want refused and counted", ttl, varied)
+	}
+}
+
+// End to end: a Vary: Accept-Encoding response is served from cache to
+// clients sending the same Accept-Encoding, while a different encoding
+// preference gets its own origin fetch and entry; no Vary refusals are
+// counted.
+func TestStaticCacheVaryAcceptEncodingKeyed(t *testing.T) {
+	var origins atomic.Int64
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		origins.Add(1)
+		w.Header().Set("Cache-Control", "max-age=60")
+		w.Header().Set("Vary", "Accept-Encoding")
+		fmt.Fprintf(w, "encoded for %q", r.Header.Get("Accept-Encoding"))
+	}))
+	defer origin.Close()
+
+	p := newTestProxy(t, origin.URL, nil)
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	get := func(ae string) (string, string) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/asset.css", nil)
+		if ae != "" {
+			req.Header.Set("Accept-Encoding", ae)
+		}
+		// Suppress the transport's automatic gzip negotiation so the
+		// header reaches the proxy exactly as set.
+		tr := &http.Transport{DisableCompression: true}
+		defer tr.CloseIdleConnections()
+		resp, err := (&http.Client{Transport: tr}).Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b), resp.Header.Get("X-Cache")
+	}
+	if _, state := get("gzip"); state != "MISS" {
+		t.Fatalf("first gzip fetch state = %s", state)
+	}
+	if _, state := get("gzip"); state != "HIT" {
+		t.Fatalf("second gzip fetch state = %s, want HIT (allowlisted Vary must be cacheable)", state)
+	}
+	if _, state := get("br"); state != "MISS" {
+		t.Fatalf("br fetch state = %s, want MISS (different variant, own key)", state)
+	}
+	if got := origins.Load(); got != 2 {
+		t.Fatalf("origin fetches = %d, want 2 (one per encoding variant)", got)
+	}
+	if got := p.Static().Len(); got != 2 {
+		t.Fatalf("static entries = %d, want 2 variant entries", got)
+	}
+	if got := p.Registry().Counter("dpc.static_uncacheable_vary").Value(); got != 0 {
+		t.Fatalf("dpc.static_uncacheable_vary = %d, want 0 (allowlisted Vary is not a refusal)", got)
+	}
+}
+
+// Cache-Control directives split across header lines must all be seen: a
+// no-store on the second line vetoes a max-age on the first.
+func TestCacheableStaticMultiLineCacheControl(t *testing.T) {
+	h := http.Header{}
+	h.Add("Cache-Control", "max-age=60")
+	h.Add("Cache-Control", "no-store")
+	ttl, varied := cacheableStatic(&http.Response{StatusCode: http.StatusOK, Header: h})
+	if ttl != 0 || varied {
+		t.Fatalf("multi-line no-store response: ttl=%v varied=%v, want uncacheable", ttl, varied)
+	}
+}
+
+// Different spellings and orderings of the same encoding preference must
+// share one cache entry; genuinely different preferences must not.
+func TestNormalizeVariantTokenSet(t *testing.T) {
+	if a, b := normalizeVariant("gzip, br"), normalizeVariant("BR,gzip"); a != b {
+		t.Fatalf("same preference set normalized differently: %q vs %q", a, b)
+	}
+	if a, b := normalizeVariant("gzip, br"), normalizeVariant("gzip, br,"); a != b {
+		t.Fatalf("trailing comma changed the key: %q vs %q", a, b)
+	}
+	if a, b := normalizeVariant("gzip"), normalizeVariant("gzip,gzip"); a != b {
+		t.Fatalf("duplicate token changed the key: %q vs %q", a, b)
+	}
+	if a, b := normalizeVariant("gzip"), normalizeVariant("gzip, br"); a == b {
+		t.Fatal("distinct preference sets collapsed")
+	}
+	if got := normalizeVariant(""); got != "" {
+		t.Fatalf("empty value normalized to %q", got)
 	}
 }
 

@@ -92,6 +92,19 @@ type Options struct {
 	// Stream enables streaming assembly at the measured system's proxy
 	// (SystemConfig.Stream) in the live runners.
 	Stream bool
+	// StoreBackend selects the measured proxy's fragment-store backend
+	// ("" = the paper-faithful slot store; "sharded" enables budgets).
+	StoreBackend string
+	// StoreByteBudget bounds the measured proxy's resident fragment
+	// bytes (0 = unbounded; requires StoreBackend "sharded" and a
+	// StoreEviction policy). The memory experiment sweeps this.
+	StoreByteBudget int64
+	// StoreEviction is the sharded store's policy: "none", "lru", or
+	// "gdsf".
+	StoreEviction string
+	// PageCache mounts the whole-page cache stage at the measured
+	// proxy (SystemConfig.PageCache) in the live runners.
+	PageCache bool
 }
 
 // DefaultOptions sizes runs for the CLI: large enough for stable numbers.
@@ -145,6 +158,7 @@ func All() []struct {
 		{"fig3b", Fig3b},
 		{"fig5", Fig5},
 		{"fig6", Fig6},
+		{"memory", Memory},
 		{"pipeline", Pipeline},
 		{"casestudy", CaseStudy},
 		{"baselines", Baselines},

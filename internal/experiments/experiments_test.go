@@ -28,7 +28,7 @@ func TestTableString(t *testing.T) {
 }
 
 func TestCatalogueComplete(t *testing.T) {
-	want := []string{"table2", "fig2a", "fig2b", "fig3a", "result1", "fig3b", "fig5", "fig6", "pipeline", "casestudy", "baselines",
+	want := []string{"table2", "fig2a", "fig2b", "fig3a", "result1", "fig3b", "fig5", "fig6", "memory", "pipeline", "casestudy", "baselines",
 		"ablation-codec", "ablation-strict", "ablation-latency"}
 	all := All()
 	if len(all) != len(want) {
@@ -185,7 +185,7 @@ func TestPipelineLive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 3 {
+	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
 	// Without coalescing every served response costs at least one origin
@@ -199,6 +199,50 @@ func TestPipelineLive(t *testing.T) {
 	for i := 1; i < len(tab.Rows); i++ {
 		if v := cell(t, tab, i, 1); v > base+0.1 {
 			t.Fatalf("row %d: coalescing raised origin fan-in to %v (baseline %v)", i, v, base)
+		}
+	}
+	// The page-tier row must cut origin fan-in well below the
+	// coalesce-only rows: anonymous revisits within the TTL never reach
+	// the origin at all.
+	if pc, co := cell(t, tab, 3, 1), cell(t, tab, 2, 1); pc >= co {
+		t.Fatalf("pagecache fan-in %v not below coalesce+stream fan-in %v", pc, co)
+	}
+}
+
+func TestMemoryLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live experiment")
+	}
+	tab, err := Memory(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 unbounded reference + 4 budgets × 2 policies.
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tab.Rows))
+	}
+	// The unbounded reference must not evict and must hit nearly always
+	// once warm.
+	if tab.Rows[0][4] != "0" {
+		t.Fatalf("unbounded row evicted: %v", tab.Rows[0])
+	}
+	if ref := cell(t, tab, 0, 3); ref < 0.9 {
+		t.Fatalf("unbounded store hit ratio = %v, want >= 0.9", ref)
+	}
+	// Within each policy, the hit ratio must not rise as the budget
+	// shrinks (rows are ordered largest budget first), and the tightest
+	// budget must actually evict.
+	for _, rows := range [][]int{{1, 2, 3, 4}, {5, 6, 7, 8}} {
+		prev := 2.0
+		for _, i := range rows {
+			h := cell(t, tab, i, 3)
+			if h > prev+0.05 {
+				t.Fatalf("row %d: store hit ratio rose to %v as the budget shrank (prev %v)", i, h, prev)
+			}
+			prev = h
+		}
+		if ev := cell(t, tab, rows[len(rows)-1], 4); ev == 0 {
+			t.Fatalf("tightest budget row %d evicted nothing", rows[len(rows)-1])
 		}
 	}
 }

@@ -30,6 +30,12 @@ type point struct {
 	measuredHit float64
 	meanLatency time.Duration
 	headerBytes float64 // calibrated per-response header overhead
+
+	// Fragment-store activity over the measurement window (the memory
+	// experiment reads these; zero in no-cache mode).
+	storeHit       float64 // store GET hit ratio
+	storeEvictions int64
+	staleFallbacks int64
 }
 
 // runPoint stands up a system in the given mode running the synthetic
@@ -46,6 +52,10 @@ func runPoint(mode core.Mode, siteCfg site.SyntheticConfig, forcedMiss float64,
 		ExtraHeaderBytes: opts.ExtraHeaderBytes,
 		Coalesce:         opts.Coalesce,
 		Stream:           opts.Stream,
+		StoreBackend:     opts.StoreBackend,
+		StoreByteBudget:  opts.StoreByteBudget,
+		StoreEviction:    opts.StoreEviction,
+		PageCache:        opts.PageCache,
 	}, mode)
 	if err != nil {
 		return point{}, site.Manifest{}, err
@@ -110,6 +120,8 @@ func runPoint(mode core.Mode, siteCfg site.SyntheticConfig, forcedMiss float64,
 		st := sys.Monitor.Stats()
 		hits0, lookups0 = st.Hits, st.Lookups
 	}
+	store0 := sys.Proxy.Store().Stats()
+	stale0 := sys.Registry.Counter("dpc.stale_fallbacks").Value()
 	sys.Meter.Reset()
 	res, err := driver.Run(opts.Requests)
 	if err != nil {
@@ -132,6 +144,12 @@ func runPoint(mode core.Mode, siteCfg site.SyntheticConfig, forcedMiss float64,
 			pt.measuredHit = float64(st.Hits-hits0) / float64(d)
 		}
 	}
+	store1 := sys.Proxy.Store().Stats()
+	if d := (store1.Hits - store0.Hits) + (store1.Misses - store0.Misses); d > 0 {
+		pt.storeHit = float64(store1.Hits-store0.Hits) / float64(d)
+	}
+	pt.storeEvictions = store1.Evictions - store0.Evictions
+	pt.staleFallbacks = sys.Registry.Counter("dpc.stale_fallbacks").Value() - stale0
 	return pt, man, nil
 }
 

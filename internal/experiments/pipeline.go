@@ -24,13 +24,15 @@ import (
 func Pipeline(opts Options) (Table, error) {
 	opts = opts.withDefaults()
 	configs := []struct {
-		name     string
-		coalesce bool
-		stream   bool
+		name      string
+		coalesce  bool
+		stream    bool
+		pagecache bool
 	}{
-		{"no coalesce", false, false},
-		{"coalesce (barrier)", true, false},
-		{"coalesce+stream (live attach)", true, true},
+		{"no coalesce", false, false, false},
+		{"coalesce (barrier)", true, false, false},
+		{"coalesce+stream (live attach)", true, true, false},
+		{"coalesce+stream+pagecache", true, true, true},
 	}
 	t := Table{
 		ID:    "pipeline",
@@ -40,7 +42,7 @@ func Pipeline(opts Options) (Table, error) {
 		},
 	}
 	for _, c := range configs {
-		fanIn, coalesced, mean, ttfb, err := runPipelinePoint(opts, c.coalesce, c.stream)
+		fanIn, coalesced, mean, ttfb, err := runPipelinePoint(opts, c.coalesce, c.stream, c.pagecache)
 		if err != nil {
 			return t, fmt.Errorf("pipeline %s: %w", c.name, err)
 		}
@@ -52,14 +54,15 @@ func Pipeline(opts Options) (Table, error) {
 	}
 	t.Notes = append(t.Notes,
 		"origin req/resp < 1 means coalescing collapsed concurrent identical fetches (origin fan-in stays 1 per flight)",
-		"burst follower TTFB: mean first-byte latency of followers that join while a leader's fetch of the same page is in flight")
+		"burst follower TTFB: mean first-byte latency of followers that join while a leader's fetch of the same page is in flight",
+		"the pagecache row serves anonymous revisits whole from the page tier, so origin fan-in falls below the coalesce-only rows")
 	return t, nil
 }
 
 // runPipelinePoint stands up a cached system with the given pipeline knobs,
 // drives the standard Zipf workload, then probes follower TTFB with a
 // burst of identical requests against one page.
-func runPipelinePoint(opts Options, coalesce, stream bool) (fanIn, coalescedPct float64, mean, ttfb time.Duration, err error) {
+func runPipelinePoint(opts Options, coalesce, stream, pagecache bool) (fanIn, coalescedPct float64, mean, ttfb time.Duration, err error) {
 	siteCfg := site.DefaultSynthetic()
 	sys, err := core.NewSystem(core.Config{
 		Capacity:         2 * siteCfg.Pages * siteCfg.FragmentsPerPage,
@@ -70,6 +73,7 @@ func runPipelinePoint(opts Options, coalesce, stream bool) (fanIn, coalescedPct 
 		ExtraHeaderBytes: opts.ExtraHeaderBytes,
 		Coalesce:         coalesce,
 		Stream:           stream,
+		PageCache:        pagecache,
 	}, core.ModeCached)
 	if err != nil {
 		return 0, 0, 0, 0, err

@@ -123,6 +123,42 @@ func BenchmarkStoreParallelSet(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreGlobalBudget measures the cost of the global byte-budget
+// ledger under parallel writes: every SET reserves against one shared
+// atomic and the store hovers at its budget, so this is the worst case for
+// ledger contention (plus steady single-entry evictions). Compare with
+// BenchmarkStoreParallelSet (unbudgeted) to read the ledger overhead.
+func BenchmarkStoreGlobalBudget(b *testing.B) {
+	payload := make([]byte, benchPayload)
+	for _, pol := range []fragstore.Policy{fragstore.PolicyLRU, fragstore.PolicyGDSF} {
+		b.Run(pol.String(), func(b *testing.B) {
+			s, err := fragstore.NewSharded(fragstore.ShardedConfig{
+				Capacity: benchCapacity,
+				// Half the working set fits: the ledger sits at its limit
+				// and every SET of a cold key evicts exactly one victim.
+				ByteBudget: benchCapacity * benchPayload / 2,
+				Policy:     pol,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Uint32
+			b.SetBytes(benchPayload)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := seq.Add(1) * 2654435761
+				for pb.Next() {
+					i++
+					_ = s.Set(i%benchCapacity, 1, payload)
+				}
+			})
+			if used, bytes := s.BudgetUsed(), s.Bytes(); used != bytes {
+				b.Fatalf("ledger (%d) disagrees with shard accounting (%d)", used, bytes)
+			}
+		})
+	}
+}
+
 // BenchmarkStoreEvictionChurn drives the byte-budgeted configurations
 // permanently over budget so every SET evicts: the policy bookkeeping
 // cost, isolated.

@@ -16,7 +16,22 @@
 //     GDSF) for deployments where fragment bytes — not the BEM freeList —
 //     are the binding resource.
 //
-// Both backends satisfy the same conformance suite (see storetest).
+// The package is also the storage engine for every URL-keyed cache tier
+// in the system: KeyedStore generalizes the sharded design to string
+// keys with per-entry TTLs and an entry-count bound, and the DPC's
+// static cache and the whole-page cache are thin wrappers over it.
+//
+// Eviction ownership: each store owns its own eviction entirely —
+// callers never evict. Byte budgets are enforced on a single global
+// atomic ledger per store (see ledger), not per-shard partitions: shards
+// reserve resident bytes against the ledger on write and release on
+// removal, and eviction fires only when the store as a whole is over
+// budget. The ledger therefore guarantees (1) a skewed key distribution
+// can fill one shard with the entire budget without early eviction, and
+// (2) at quiescence the store never settles above its budget.
+//
+// All backends — slot, sharded, and keyed (through its AsFragmentStore
+// adapter) — satisfy the same conformance suite (see storetest).
 package fragstore
 
 import (
@@ -123,8 +138,10 @@ type Config struct {
 	// non-zero value.
 	Shards int
 	// ByteBudget bounds resident content bytes in the sharded backend
-	// (0 = unbounded). Requires an eviction policy. The slot backend
-	// rejects a non-zero value.
+	// (0 = unbounded). The budget is one global ledger shared by every
+	// shard, so eviction fires only when the store as a whole is over —
+	// never because one shard's key slice is popular. Requires an
+	// eviction policy. The slot backend rejects a non-zero value.
 	ByteBudget int64
 	// Eviction is "none" (default), "lru", or "gdsf". The slot backend
 	// rejects any other value.

@@ -2,6 +2,7 @@ package fragstore_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"dpcache/internal/fragstore"
@@ -187,6 +188,152 @@ func TestGDSFAgingAdmitsFreshEntries(t *testing.T) {
 	}
 	if _, ok := s.Get(0, 1, false); ok {
 		t.Fatal("once-hot entry never aged out under sustained fresh traffic")
+	}
+}
+
+// The budget is a global ledger, not a per-shard partition: a skewed key
+// distribution that lands every write in one shard must not evict while
+// the store as a whole has headroom. (With the budget split evenly across
+// 8 shards, this workload would start evicting at 1/8th of the budget.)
+func TestGlobalBudgetToleratesSkewedKeys(t *testing.T) {
+	s, err := fragstore.NewSharded(fragstore.ShardedConfig{
+		Capacity: 2048, Shards: 8, ByteBudget: 12800, Policy: fragstore.PolicyLRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys ≡ 0 (mod 8) all hash to shard 0: 120 × 100 B = 12000 B, 94% of
+	// the global budget, all in one shard.
+	pay := make([]byte, 100)
+	for i := 0; i < 120; i++ {
+		if err := s.Set(uint32(i*8), 1, pay); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 0 {
+		t.Fatalf("evicted %d entries while %d/%d bytes under the global budget (per-shard partitioning?)",
+			st.Evictions, st.Bytes, st.ByteBudget)
+	}
+	if got := s.Resident(); got != 120 {
+		t.Fatalf("resident = %d, want all 120 skewed entries", got)
+	}
+	// Pushing past the global budget must now evict — the ledger is a
+	// bound, not a suggestion.
+	for i := 120; i < 130; i++ {
+		if err := s.Set(uint32(i*8), 1, pay); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions after exceeding the global budget")
+	}
+	if st.Bytes > st.ByteBudget {
+		t.Fatalf("settled at %d bytes, over the %d budget", st.Bytes, st.ByteBudget)
+	}
+}
+
+// When the writing shard has nothing left to evict but the bytes live
+// elsewhere, the sweep must relieve pressure from the other shards.
+func TestGlobalBudgetSweepsOtherShards(t *testing.T) {
+	s, err := fragstore.NewSharded(fragstore.ShardedConfig{
+		Capacity: 1024, Shards: 8, ByteBudget: 1000, Policy: fragstore.PolicyLRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill shard 0 to the brim...
+	for i := 0; i < 9; i++ {
+		if err := s.Set(uint32(i*8), 1, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...then write a single large entry into shard 1. Its own shard has
+	// only that entry; the overflow must be clawed back from shard 0.
+	if err := s.Set(1, 1, make([]byte, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(1, 1, false); !ok {
+		t.Fatal("fresh entry evicted instead of sweeping the loaded shard")
+	}
+	if got := s.Bytes(); got > 1000 {
+		t.Fatalf("settled at %d bytes, over the 1000 budget", got)
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatal("sweep evicted nothing")
+	}
+}
+
+// A single entry larger than the whole budget must be refused, not
+// admitted by flushing every shard — and an overwritten slot must not
+// keep its stale content.
+func TestOversizedSetRefusedNotFlushed(t *testing.T) {
+	s, err := fragstore.NewSharded(fragstore.ShardedConfig{
+		Capacity: 1024, Shards: 8, ByteBudget: 1000, Policy: fragstore.PolicyLRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Set(uint32(i), 1, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Set(0, 2, make([]byte, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(0, 2, false); ok {
+		t.Fatal("oversized entry admitted")
+	}
+	if got := s.Resident(); got != 7 {
+		t.Fatalf("resident = %d after oversized set, want the 7 untouched entries", got)
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.EvictedBytes != 5000 {
+		t.Fatalf("refusal not counted: %+v", st)
+	}
+	if used, bytes := s.BudgetUsed(), s.Bytes(); used != bytes || used != 700 {
+		t.Fatalf("accounting after refusal: ledger=%d bytes=%d, want 700", used, bytes)
+	}
+}
+
+// Concurrent reserve/release on the global ledger: hammer a budgeted store
+// with racing sets, overwrites, and drops, then check the ledger agrees
+// exactly with the per-shard byte accounting at quiescence. Run under
+// -race this doubles as the ledger's data-race test.
+func TestGlobalBudgetLedgerRace(t *testing.T) {
+	const budget = 64 << 10
+	s, err := fragstore.NewSharded(fragstore.ShardedConfig{
+		Capacity: 512, Shards: 8, ByteBudget: budget, Policy: fragstore.PolicyLRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := uint32((g*131 + i*7) % 512)
+				switch i % 5 {
+				case 0, 1:
+					_ = s.Set(k, uint32(i), make([]byte, 64+(i%512)))
+				case 2:
+					s.Get(k, 1, false)
+				case 3:
+					s.Drop(k)
+				default:
+					_ = s.Set(k, uint32(i), make([]byte, 16)) // shrink overwrites
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if used, bytes := s.BudgetUsed(), s.Bytes(); used != bytes {
+		t.Fatalf("ledger (%d) disagrees with shard accounting (%d) at quiescence", used, bytes)
+	}
+	if got := s.Bytes(); got > budget {
+		t.Fatalf("settled at %d bytes, over the %d budget", got, budget)
+	}
+	s.DropAll()
+	if used := s.BudgetUsed(); used != 0 {
+		t.Fatalf("ledger holds %d bytes after DropAll", used)
 	}
 }
 

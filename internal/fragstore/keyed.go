@@ -1,0 +1,567 @@
+package fragstore
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+	"hash/maphash"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpcache/internal/clock"
+)
+
+// KeyedStore is the sharded store generalized from uint32 slot keys to
+// strings: the same power-of-two shard layout, per-shard locks, LRU/GDSF
+// eviction, and global byte-budget ledger as Sharded, plus per-entry TTL
+// expiry and an optional entry-count bound. It is the storage engine
+// behind every URL-keyed cache tier in the system — the DPC's static
+// cache and the whole-page cache both wrap it instead of carrying their
+// own mutex+LRU implementations.
+//
+// Budgets are global, never per-shard: ByteBudget and MaxEntries are
+// enforced on store-wide atomic ledgers, so a skewed key distribution
+// filling one shard does not evict while the store as a whole has
+// headroom. Eviction is global too: under pressure the store compares
+// every shard's local victim candidate (LRU recency via a store-wide
+// touch sequence, GDSF priority) and evicts the globally coldest — the
+// shard count is small, so the O(shards) scan per eviction buys exact
+// global policy order rather than the per-shard approximation.
+//
+// Values returned by Get are shared with the store; callers must not
+// modify them. Put copies its input. Expiry is lazy: an expired entry is
+// removed by the Get that discovers it (counted as Expired + a miss), or
+// by eviction.
+type KeyedStore struct {
+	shards  []kshard
+	mask    uint64
+	seed    maphash.Seed
+	cfg     KeyedConfig
+	clk     clock.Clock
+	led     ledger
+	entries atomic.Int64 // global resident-entry count (MaxEntries ledger)
+	seq     atomic.Int64 // store-wide LRU touch sequence
+	// infl is the GDSF aging term L, shared store-wide (float64 bits,
+	// raised monotonically to each victim's priority) so priorities are
+	// comparable across shards — a per-shard term would skew evictGlobal
+	// away from heavily-evicted shards.
+	infl atomic.Uint64
+}
+
+// KeyedConfig parameterizes a KeyedStore.
+type KeyedConfig struct {
+	// Shards is rounded up to a power of two; 0 selects DefaultShards.
+	Shards int
+	// MaxEntries bounds resident entries across all shards (0 =
+	// unbounded). Like ByteBudget it is a global bound, not a per-shard
+	// partition.
+	MaxEntries int
+	// ByteBudget bounds resident value bytes across all shards (0 =
+	// unbounded). Only Value bytes count; key and Meta overhead does not.
+	ByteBudget int64
+	// Policy selects the eviction strategy. The zero value selects
+	// PolicyLRU: a keyed cache with any bound must be able to evict, and
+	// LRU is the safe default. PolicyGDSF prefers keeping small, hot
+	// entries.
+	Policy Policy
+	// Clock drives TTL expiry; nil selects the real clock.
+	Clock clock.Clock
+}
+
+// KeyedEntry is one stored value with its caller-owned annotations.
+type KeyedEntry struct {
+	// Value is the cached payload (a response body, a whole page).
+	Value []byte
+	// Meta is a small caller-defined tag stored alongside the value (the
+	// cache tiers keep the Content-Type here).
+	Meta string
+	// Gen is a caller-defined generation (the fragment-store adapter
+	// keeps the SET tag generation here; cache tiers leave it zero).
+	Gen uint32
+}
+
+// KeyedStats is a point-in-time snapshot of a KeyedStore's occupancy and
+// activity.
+type KeyedStats struct {
+	Shards     int   `json:"shards"`
+	Resident   int   `json:"resident"`
+	Bytes      int64 `json:"bytes"`
+	ByteBudget int64 `json:"byte_budget"`
+	MaxEntries int   `json:"max_entries"`
+	// Puts, Hits, Misses, Drops count store operations since creation.
+	Puts   int64 `json:"puts"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Drops  int64 `json:"drops"`
+	// Expired counts entries removed lazily at their deadline (each also
+	// counts as a miss for the Get that discovered it).
+	Expired int64 `json:"expired"`
+	// Evictions counts entries removed by the eviction policy, and
+	// EvictedBytes their cumulative value size.
+	Evictions    int64 `json:"evictions"`
+	EvictedBytes int64 `json:"evicted_bytes"`
+}
+
+type kshard struct {
+	mu      sync.Mutex
+	entries map[string]*kentry
+	bytes   int64
+	led     *ledger
+	count   *atomic.Int64
+	seq     *atomic.Int64
+	infl    *atomic.Uint64 // store-wide GDSF aging term (float64 bits)
+	policy  Policy
+	lru     *list.List // front = most recent; values are *kentry
+	heap    kheap
+
+	evictions                          int64
+	evictedBytes                       int64
+	puts, hits, misses, drops, expired atomic.Int64
+}
+
+type kentry struct {
+	key      string
+	val      KeyedEntry
+	deadline time.Time // zero = no expiry
+
+	elem     *list.Element // LRU handle
+	touchSeq int64         // store-wide recency stamp (LRU cross-shard compare)
+	freq     int64         // GDSF access count
+	prio     float64       // GDSF priority
+	hidx     int           // GDSF heap index
+}
+
+// NewKeyed returns a keyed store.
+func NewKeyed(cfg KeyedConfig) (*KeyedStore, error) {
+	if cfg.ByteBudget < 0 {
+		return nil, fmt.Errorf("fragstore: negative byte budget %d", cfg.ByteBudget)
+	}
+	if cfg.MaxEntries < 0 {
+		return nil, fmt.Errorf("fragstore: negative entry bound %d", cfg.MaxEntries)
+	}
+	if cfg.Policy == PolicyNone {
+		cfg.Policy = PolicyLRU
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	n = nextPow2(n)
+	s := &KeyedStore{
+		shards: make([]kshard, n),
+		mask:   uint64(n - 1),
+		seed:   maphash.MakeSeed(),
+		cfg:    cfg,
+		clk:    clk,
+		led:    ledger{budget: cfg.ByteBudget},
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.entries = make(map[string]*kentry)
+		sh.led = &s.led
+		sh.count = &s.entries
+		sh.seq = &s.seq
+		sh.infl = &s.infl
+		sh.policy = cfg.Policy
+		if cfg.Policy == PolicyLRU {
+			sh.lru = list.New()
+		}
+	}
+	return s, nil
+}
+
+// locate returns the shard owning key.
+func (s *KeyedStore) locate(key string) *kshard {
+	return &s.shards[maphash.String(s.seed, key)&s.mask]
+}
+
+// overLimits reports global pressure on either ledger.
+func (s *KeyedStore) overLimits() bool {
+	if s.led.overBudget() {
+		return true
+	}
+	return s.cfg.MaxEntries > 0 && int(s.entries.Load()) > s.cfg.MaxEntries
+}
+
+// Get returns the entry stored under key, if resident and unexpired.
+func (s *KeyedStore) Get(key string) (KeyedEntry, bool) {
+	sh := s.locate(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if !ok {
+		sh.mu.Unlock()
+		sh.misses.Add(1)
+		return KeyedEntry{}, false
+	}
+	if !e.deadline.IsZero() && !s.clk.Now().Before(e.deadline) {
+		sh.remove(e)
+		sh.mu.Unlock()
+		sh.expired.Add(1)
+		sh.misses.Add(1)
+		return KeyedEntry{}, false
+	}
+	sh.touch(e)
+	val := e.val
+	sh.mu.Unlock()
+	sh.hits.Add(1)
+	return val, true
+}
+
+// Put stores entry under key for ttl (ttl <= 0 means no expiry). The
+// value is copied. When the write pushes the store over its global byte
+// budget or entry bound, the globally coldest entries are evicted until
+// it fits (the incoming entry is itself a candidate under GDSF — the
+// "don't admit what you'd immediately evict" behavior; under LRU it is
+// by definition the most recent).
+func (s *KeyedStore) Put(key string, entry KeyedEntry, ttl time.Duration) {
+	if s.led.budget > 0 && int64(len(entry.Value)) > s.led.budget {
+		// A value larger than the entire budget can never fit: refuse
+		// admission (counted as an eviction of the refused bytes) rather
+		// than emptying the store to make room, and drop any stale
+		// entry the refused write was replacing.
+		sh := s.locate(key)
+		sh.puts.Add(1)
+		sh.mu.Lock()
+		if e, ok := sh.entries[key]; ok {
+			sh.remove(e)
+		}
+		sh.evictions++
+		sh.evictedBytes += int64(len(entry.Value))
+		sh.mu.Unlock()
+		return
+	}
+	cp := make([]byte, len(entry.Value))
+	copy(cp, entry.Value)
+	entry.Value = cp
+	var deadline time.Time
+	if ttl > 0 {
+		deadline = s.clk.Now().Add(ttl)
+	}
+	sh := s.locate(key)
+	sh.puts.Add(1)
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		delta := int64(len(cp)) - int64(len(e.val.Value))
+		sh.bytes += delta
+		sh.led.reserve(delta)
+		e.val = entry
+		e.deadline = deadline
+		sh.touch(e)
+	} else {
+		e := &kentry{key: key, val: entry, deadline: deadline}
+		sh.entries[key] = e
+		sh.bytes += int64(len(cp))
+		sh.led.reserve(int64(len(cp)))
+		sh.count.Add(1)
+		sh.admit(e)
+	}
+	sh.mu.Unlock()
+	if s.overLimits() {
+		s.evictGlobal()
+	}
+}
+
+// evictGlobal relieves budget pressure by repeatedly evicting the
+// globally coldest entry: scan every shard's local victim candidate (its
+// LRU tail or GDSF heap minimum) and evict the coldest of those minima —
+// which is the store-wide minimum, so the global policy order is exact,
+// not a per-shard approximation. Candidates are read under each shard's
+// lock but compared outside it; a concurrent touch can promote the chosen
+// victim before the final lock, in which case whatever is then coldest in
+// that shard is evicted instead — a benign inversion bounded by one
+// concurrent access.
+func (s *KeyedStore) evictGlobal() {
+	for s.overLimits() {
+		var victim *kshard
+		best := 0.0
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			m, ok := sh.coldness()
+			sh.mu.Unlock()
+			if ok && (victim == nil || m < best) {
+				best, victim = m, sh
+			}
+		}
+		if victim == nil {
+			return // store is empty; nothing left to give back
+		}
+		victim.mu.Lock()
+		if len(victim.entries) > 0 {
+			victim.evictOne()
+		}
+		victim.mu.Unlock()
+	}
+}
+
+// coldness scores this shard's eviction candidate for the cross-shard
+// compare: lower is colder. Called with sh.mu held.
+func (sh *kshard) coldness() (float64, bool) {
+	switch sh.policy {
+	case PolicyLRU:
+		if sh.lru.Len() == 0 {
+			return 0, false
+		}
+		return float64(sh.lru.Back().Value.(*kentry).touchSeq), true
+	case PolicyGDSF:
+		if len(sh.heap) == 0 {
+			return 0, false
+		}
+		return sh.heap[0].prio, true
+	}
+	return 0, false
+}
+
+// Delete removes the entry under key, reporting whether one was resident.
+func (s *KeyedStore) Delete(key string) bool {
+	sh := s.locate(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if ok {
+		sh.remove(e)
+	}
+	sh.mu.Unlock()
+	if ok {
+		sh.drops.Add(1)
+	}
+	return ok
+}
+
+// Flush removes every resident entry.
+func (s *KeyedStore) Flush() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.drops.Add(int64(len(sh.entries)))
+		sh.count.Add(-int64(len(sh.entries)))
+		sh.led.release(sh.bytes)
+		sh.entries = make(map[string]*kentry)
+		sh.bytes = 0
+		if sh.lru != nil {
+			sh.lru.Init()
+		}
+		for i := range sh.heap {
+			sh.heap[i] = nil // release the entries (and their values)
+		}
+		sh.heap = sh.heap[:0]
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the number of resident entries.
+func (s *KeyedStore) Len() int { return int(s.entries.Load()) }
+
+// Bytes returns the total resident value bytes.
+func (s *KeyedStore) Bytes() int64 {
+	var n int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.bytes
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// BudgetUsed returns the global byte ledger's current reservation.
+func (s *KeyedStore) BudgetUsed() int64 { return s.led.Used() }
+
+// Stats returns a point-in-time snapshot of store activity.
+func (s *KeyedStore) Stats() KeyedStats {
+	st := KeyedStats{
+		Shards:     len(s.shards),
+		ByteBudget: s.cfg.ByteBudget,
+		MaxEntries: s.cfg.MaxEntries,
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st.Resident += len(sh.entries)
+		st.Bytes += sh.bytes
+		st.Evictions += sh.evictions
+		st.EvictedBytes += sh.evictedBytes
+		sh.mu.Unlock()
+		st.Puts += sh.puts.Load()
+		st.Hits += sh.hits.Load()
+		st.Misses += sh.misses.Load()
+		st.Drops += sh.drops.Load()
+		st.Expired += sh.expired.Load()
+	}
+	return st
+}
+
+// --- per-shard policy plumbing (kshard.mu held throughout) ---
+
+func (sh *kshard) admit(e *kentry) {
+	switch sh.policy {
+	case PolicyLRU:
+		e.elem = sh.lru.PushFront(e)
+		e.touchSeq = sh.seq.Add(1)
+	case PolicyGDSF:
+		e.freq = 1
+		e.prio = sh.inflation() + kGdsfValue(e)
+		heap.Push(&sh.heap, e)
+	}
+}
+
+func (sh *kshard) touch(e *kentry) {
+	switch sh.policy {
+	case PolicyLRU:
+		sh.lru.MoveToFront(e.elem)
+		e.touchSeq = sh.seq.Add(1)
+	case PolicyGDSF:
+		e.freq++
+		e.prio = sh.inflation() + kGdsfValue(e)
+		heap.Fix(&sh.heap, e.hidx)
+	}
+}
+
+// inflation reads the store-wide GDSF aging term.
+func (sh *kshard) inflation() float64 {
+	return math.Float64frombits(sh.infl.Load())
+}
+
+// raiseInflation lifts the aging term to at least p (GDSF's L := victim
+// priority; monotone, so a CAS max loop suffices).
+func (sh *kshard) raiseInflation(p float64) {
+	for {
+		old := sh.infl.Load()
+		if math.Float64frombits(old) >= p || sh.infl.CompareAndSwap(old, math.Float64bits(p)) {
+			return
+		}
+	}
+}
+
+func (sh *kshard) remove(e *kentry) {
+	sh.bytes -= int64(len(e.val.Value))
+	sh.led.release(int64(len(e.val.Value)))
+	sh.count.Add(-1)
+	switch sh.policy {
+	case PolicyLRU:
+		sh.lru.Remove(e.elem)
+	case PolicyGDSF:
+		heap.Remove(&sh.heap, e.hidx)
+	}
+	delete(sh.entries, e.key)
+}
+
+func (sh *kshard) evictOne() {
+	var victim *kentry
+	switch sh.policy {
+	case PolicyLRU:
+		victim = sh.lru.Back().Value.(*kentry)
+	case PolicyGDSF:
+		victim = sh.heap[0]
+		sh.raiseInflation(victim.prio) // GDSF aging term L
+	default:
+		return
+	}
+	size := int64(len(victim.val.Value))
+	sh.remove(victim)
+	sh.evictions++
+	sh.evictedBytes += size
+}
+
+func kGdsfValue(e *kentry) float64 {
+	size := len(e.val.Value)
+	if size < 1 {
+		size = 1
+	}
+	return float64(e.freq) / float64(size)
+}
+
+// kheap is a min-heap of keyed entries by GDSF priority.
+type kheap []*kentry
+
+func (h kheap) Len() int           { return len(h) }
+func (h kheap) Less(i, j int) bool { return h[i].prio < h[j].prio }
+func (h kheap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].hidx = i; h[j].hidx = j }
+func (h *kheap) Push(x any)        { e := x.(*kentry); e.hidx = len(*h); *h = append(*h, e) }
+func (h *kheap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// AsFragmentStore adapts the keyed store to the FragmentStore contract
+// (uint32 keys formatted as strings, generations carried in KeyedEntry.Gen)
+// so the storetest conformance suite — the same one the slot and sharded
+// fragment backends pass — can verify any keyed-backed cache tier.
+func (s *KeyedStore) AsFragmentStore(capacity int) (FragmentStore, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("fragstore: store capacity must be positive, got %d", capacity)
+	}
+	return &keyedFragmentView{s: s, capacity: capacity}, nil
+}
+
+type keyedFragmentView struct {
+	s        *KeyedStore
+	capacity int
+}
+
+func kfvKey(key uint32) string { return fmt.Sprintf("k%d", key) }
+
+func (v *keyedFragmentView) Set(key, gen uint32, content []byte) error {
+	if int64(key) >= int64(v.capacity) {
+		return fmt.Errorf("fragstore: key %d outside store capacity %d", key, v.capacity)
+	}
+	v.s.Put(kfvKey(key), KeyedEntry{Value: content, Gen: gen}, 0)
+	return nil
+}
+
+func (v *keyedFragmentView) Get(key, gen uint32, strict bool) ([]byte, bool) {
+	if int64(key) >= int64(v.capacity) {
+		v.s.locate(kfvKey(key)).misses.Add(1)
+		return nil, false
+	}
+	e, ok := v.s.Get(kfvKey(key))
+	if !ok || (strict && e.Gen != gen) {
+		return nil, false
+	}
+	return e.Value, true
+}
+
+func (v *keyedFragmentView) Drop(key uint32) {
+	if int64(key) >= int64(v.capacity) {
+		return
+	}
+	v.s.Delete(kfvKey(key))
+}
+
+func (v *keyedFragmentView) DropAll() { v.s.Flush() }
+
+func (v *keyedFragmentView) Capacity() int { return v.capacity }
+
+func (v *keyedFragmentView) Bytes() int64 { return v.s.Bytes() }
+
+func (v *keyedFragmentView) Resident() int { return v.s.Len() }
+
+func (v *keyedFragmentView) Stats() Stats {
+	ks := v.s.Stats()
+	return Stats{
+		Backend:      "keyed",
+		Shards:       ks.Shards,
+		Capacity:     v.capacity,
+		Resident:     ks.Resident,
+		Bytes:        ks.Bytes,
+		ByteBudget:   ks.ByteBudget,
+		Sets:         ks.Puts,
+		Hits:         ks.Hits,
+		Misses:       ks.Misses,
+		Drops:        ks.Drops,
+		Evictions:    ks.Evictions,
+		EvictedBytes: ks.EvictedBytes,
+	}
+}

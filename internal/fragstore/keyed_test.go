@@ -1,0 +1,182 @@
+package fragstore_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dpcache/internal/clock"
+	"dpcache/internal/fragstore"
+	"dpcache/internal/fragstore/storetest"
+)
+
+// The keyed store must satisfy the same fragment-memory contract as the
+// slot and sharded backends (through the string-key adapter), for both
+// eviction policies.
+func TestKeyedConformance(t *testing.T) {
+	storetest.Run(t, "keyed-lru", func(capacity int) (fragstore.FragmentStore, error) {
+		s, err := fragstore.NewKeyed(fragstore.KeyedConfig{Policy: fragstore.PolicyLRU})
+		if err != nil {
+			return nil, err
+		}
+		return s.AsFragmentStore(capacity)
+	})
+	storetest.Run(t, "keyed-gdsf", func(capacity int) (fragstore.FragmentStore, error) {
+		s, err := fragstore.NewKeyed(fragstore.KeyedConfig{Policy: fragstore.PolicyGDSF})
+		if err != nil {
+			return nil, err
+		}
+		return s.AsFragmentStore(capacity)
+	})
+}
+
+func newKeyed(t *testing.T, cfg fragstore.KeyedConfig) *fragstore.KeyedStore {
+	t.Helper()
+	s, err := fragstore.NewKeyed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestKeyedTTLExpiry(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	s := newKeyed(t, fragstore.KeyedConfig{Clock: fake})
+	s.Put("/a", fragstore.KeyedEntry{Value: []byte("x"), Meta: "text/plain"}, 10*time.Second)
+	fake.Advance(9 * time.Second)
+	if e, ok := s.Get("/a"); !ok || e.Meta != "text/plain" {
+		t.Fatalf("fresh entry: %+v, %v", e, ok)
+	}
+	fake.Advance(2 * time.Second)
+	if _, ok := s.Get("/a"); ok {
+		t.Fatal("served past expiry")
+	}
+	if s.Len() != 0 || s.Bytes() != 0 || s.BudgetUsed() != 0 {
+		t.Fatalf("expired entry not fully released: len=%d bytes=%d ledger=%d",
+			s.Len(), s.Bytes(), s.BudgetUsed())
+	}
+	if st := s.Stats(); st.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", st.Expired)
+	}
+}
+
+func TestKeyedNoTTLNeverExpires(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	s := newKeyed(t, fragstore.KeyedConfig{Clock: fake})
+	s.Put("/a", fragstore.KeyedEntry{Value: []byte("x")}, 0)
+	fake.Advance(1000 * time.Hour)
+	if _, ok := s.Get("/a"); !ok {
+		t.Fatal("no-TTL entry expired")
+	}
+}
+
+func TestKeyedMaxEntriesGlobalBound(t *testing.T) {
+	s := newKeyed(t, fragstore.KeyedConfig{Shards: 4, MaxEntries: 8})
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("/f%d", i), fragstore.KeyedEntry{Value: []byte("x")}, 0)
+	}
+	if got := s.Len(); got != 8 {
+		t.Fatalf("resident = %d, want the MaxEntries bound of 8", got)
+	}
+	if st := s.Stats(); st.Evictions != 92 {
+		t.Fatalf("evictions = %d, want 92", st.Evictions)
+	}
+}
+
+func TestKeyedByteBudgetHolds(t *testing.T) {
+	s := newKeyed(t, fragstore.KeyedConfig{Shards: 4, ByteBudget: 1000})
+	for i := 0; i < 200; i++ {
+		s.Put(fmt.Sprintf("/f%d", i%50), fragstore.KeyedEntry{Value: make([]byte, 30+i%40)}, 0)
+		if got := s.Bytes(); got > 1000 {
+			t.Fatalf("bytes %d exceed budget after put %d", got, i)
+		}
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatal("no evictions under sustained over-budget puts")
+	}
+}
+
+func TestKeyedLRUOrder(t *testing.T) {
+	s := newKeyed(t, fragstore.KeyedConfig{Shards: 1, MaxEntries: 2})
+	s.Put("/a", fragstore.KeyedEntry{Value: []byte("a")}, 0)
+	s.Put("/b", fragstore.KeyedEntry{Value: []byte("b")}, 0)
+	if _, ok := s.Get("/a"); !ok { // touch a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	s.Put("/c", fragstore.KeyedEntry{Value: []byte("c")}, 0)
+	if _, ok := s.Get("/b"); ok {
+		t.Fatal("LRU entry b survived")
+	}
+	if _, ok := s.Get("/a"); !ok {
+		t.Fatal("recently used entry a evicted")
+	}
+}
+
+// A value larger than the whole budget is refused, not admitted by
+// emptying the store; a stale entry it was replacing is dropped.
+func TestKeyedOversizedPutRefused(t *testing.T) {
+	s := newKeyed(t, fragstore.KeyedConfig{Shards: 4, ByteBudget: 1000})
+	for i := 0; i < 8; i++ {
+		s.Put(fmt.Sprintf("/f%d", i), fragstore.KeyedEntry{Value: make([]byte, 100)}, 0)
+	}
+	s.Put("/f0", fragstore.KeyedEntry{Value: make([]byte, 5000)}, 0)
+	if _, ok := s.Get("/f0"); ok {
+		t.Fatal("oversized value admitted (or stale entry retained)")
+	}
+	if got := s.Len(); got != 7 {
+		t.Fatalf("resident = %d after oversized put, want the 7 untouched entries", got)
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.EvictedBytes != 5000 {
+		t.Fatalf("refusal not counted: %+v", st)
+	}
+}
+
+// The keyed store's ledger is global like the fragment store's: keys
+// crowding one shard must not evict while the whole store has headroom.
+func TestKeyedGlobalBudgetLedgerRace(t *testing.T) {
+	const budget = 32 << 10
+	s := newKeyed(t, fragstore.KeyedConfig{Shards: 8, ByteBudget: budget})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1500; i++ {
+				key := fmt.Sprintf("/k%d", (g*37+i*3)%96)
+				switch i % 4 {
+				case 0, 1:
+					s.Put(key, fragstore.KeyedEntry{Value: make([]byte, 64+(i%256))}, 0)
+				case 2:
+					s.Get(key)
+				default:
+					s.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if used, bytes := s.BudgetUsed(), s.Bytes(); used != bytes {
+		t.Fatalf("ledger (%d) disagrees with shard accounting (%d) at quiescence", used, bytes)
+	}
+	if got := s.Bytes(); got > budget {
+		t.Fatalf("settled at %d bytes, over the %d budget", got, budget)
+	}
+	s.Flush()
+	if s.Len() != 0 || s.BudgetUsed() != 0 {
+		t.Fatalf("flush left len=%d ledger=%d", s.Len(), s.BudgetUsed())
+	}
+}
+
+func TestKeyedConfigValidation(t *testing.T) {
+	if _, err := fragstore.NewKeyed(fragstore.KeyedConfig{ByteBudget: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, err := fragstore.NewKeyed(fragstore.KeyedConfig{MaxEntries: -1}); err == nil {
+		t.Fatal("negative entry bound accepted")
+	}
+	s := newKeyed(t, fragstore.KeyedConfig{})
+	if _, err := s.AsFragmentStore(0); err == nil {
+		t.Fatal("adapter accepted zero capacity")
+	}
+}

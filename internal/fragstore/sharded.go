@@ -23,12 +23,13 @@ type ShardedConfig struct {
 	// Shards is rounded up to a power of two; 0 selects DefaultShards.
 	Shards int
 	// ByteBudget bounds total resident content bytes (0 = unbounded).
-	// The budget is partitioned evenly across shards, so a pathological
-	// key distribution can evict before the global total is reached.
-	// Requires Policy != PolicyNone.
+	// The budget is a single global ledger shared by every shard — not a
+	// per-shard partition — so a skewed key distribution can fill one
+	// shard with the entire budget without triggering eviction while the
+	// store as a whole still has headroom. Requires Policy != PolicyNone.
 	ByteBudget int64
-	// Policy selects the eviction strategy applied when a shard exceeds
-	// its share of the byte budget.
+	// Policy selects the eviction strategy applied when the store
+	// exceeds its global byte budget.
 	Policy Policy
 }
 
@@ -36,16 +37,20 @@ type ShardedConfig struct {
 // in shard k&mask at local index k>>shardBits, so like the paper's slot
 // array it is still array-indexed — only the lock is per shard. SETs
 // against different shards never contend, which is what lets it match or
-// beat the single-lock SlotStore under parallel load. Each shard
-// optionally enforces a byte budget with LRU or GDSF eviction, giving the
-// DPC a capacity model the freeList-governed slot array cannot express
-// (bound resident bytes, not slot count).
+// beat the single-lock SlotStore under parallel load. An optional byte
+// budget bounds total resident content with LRU or GDSF eviction, giving
+// the DPC a capacity model the freeList-governed slot array cannot
+// express (bound resident bytes, not slot count). The budget is accounted
+// on one global atomic ledger shared by all shards (see ledger); eviction
+// fires only under global pressure, preferring victims from the shard
+// being written and sweeping the others when it runs dry.
 type Sharded struct {
 	shards    []shard
 	mask      uint32
 	shardBits uint32
 	capacity  int
 	cfg       ShardedConfig
+	led       ledger
 }
 
 type shard struct {
@@ -53,7 +58,7 @@ type shard struct {
 	slots    []entry // local index = key >> shardBits
 	bytes    int64
 	resident int
-	budget   int64 // per-shard share of ByteBudget; 0 = unbounded
+	led      *ledger // the store's global byte ledger
 	policy   Policy
 
 	// LRU state: front = most recent; values are *entry.
@@ -118,16 +123,13 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		shardBits: uint32(bits.TrailingZeros(uint(n))),
 		capacity:  cfg.Capacity,
 		cfg:       cfg,
-	}
-	var perShard int64
-	if cfg.ByteBudget > 0 {
-		perShard = (cfg.ByteBudget + int64(n) - 1) / int64(n)
+		led:       ledger{budget: cfg.ByteBudget},
 	}
 	perShardSlots := (cfg.Capacity + n - 1) / n
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.slots = make([]entry, perShardSlots)
-		sh.budget = perShard
+		sh.led = &s.led
 		sh.policy = cfg.Policy
 		if cfg.Policy == PolicyLRU {
 			sh.lru = list.New()
@@ -147,6 +149,12 @@ func nextPow2(n int) int {
 // Shards returns the actual (power-of-two) shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
+// BudgetUsed returns the global ledger's current reservation — the byte
+// count budget enforcement is driven by. It equals Bytes() whenever the
+// store is quiescent; mid-write the two may transiently differ by in-flight
+// reservations.
+func (s *Sharded) BudgetUsed() int64 { return s.led.Used() }
+
 // Capacity returns the key-space size.
 func (s *Sharded) Capacity() int { return s.capacity }
 
@@ -156,23 +164,41 @@ func (s *Sharded) locate(key uint32) (*shard, *entry) {
 	return sh, &sh.slots[key>>s.shardBits]
 }
 
-// Set stores content under key; see FragmentStore.Set. When the shard's
-// byte budget is exceeded the policy evicts coldest-first until the shard
-// fits again (the incoming entry itself is evictable, matching the
-// "don't admit what you'd immediately evict" behavior of size-aware
-// caches).
+// Set stores content under key; see FragmentStore.Set. When the write
+// pushes the store over its global byte budget the policy evicts
+// coldest-first — from this shard while it has residents (the incoming
+// entry itself is evictable, matching the "don't admit what you'd
+// immediately evict" behavior of size-aware caches), then sweeping the
+// other shards if global pressure persists after this one runs dry.
 func (s *Sharded) Set(key, gen uint32, content []byte) error {
 	if int64(key) >= int64(s.capacity) {
 		return fmt.Errorf("fragstore: key %d outside store capacity %d", key, s.capacity)
+	}
+	if s.led.budget > 0 && int64(len(content)) > s.led.budget {
+		// Content larger than the entire budget can never fit: refuse
+		// admission (counted as an eviction of the refused bytes) rather
+		// than flushing every shard in a futile attempt to make room. An
+		// overwritten slot must not keep its stale content either.
+		sh, e := s.locate(key)
+		sh.sets.Add(1)
+		sh.mu.Lock()
+		if e.set {
+			sh.remove(e)
+		}
+		sh.evictions++
+		sh.evictedBytes += int64(len(content))
+		sh.mu.Unlock()
+		return nil
 	}
 	cp := make([]byte, len(content))
 	copy(cp, content)
 	sh, e := s.locate(key)
 	sh.sets.Add(1)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if e.set {
-		sh.bytes += int64(len(cp)) - int64(len(e.data))
+		delta := int64(len(cp)) - int64(len(e.data))
+		sh.bytes += delta
+		sh.led.reserve(delta)
 		e.data = cp
 		e.gen = gen
 		sh.touch(e)
@@ -182,15 +208,59 @@ func (s *Sharded) Set(key, gen uint32, content []byte) error {
 		e.data = cp
 		e.set = true
 		sh.bytes += int64(len(cp))
+		sh.led.reserve(int64(len(cp)))
 		sh.resident++
 		sh.admit(e)
 	}
-	if sh.budget > 0 {
-		for sh.bytes > sh.budget && sh.resident > 0 {
-			sh.evictOne()
-		}
+	for sh.policy != PolicyNone && sh.led.overBudget() && sh.resident > 1 {
+		sh.evictOne()
+	}
+	sh.mu.Unlock()
+	if s.led.overBudget() {
+		s.evictSweep(sh)
 	}
 	return nil
+}
+
+// evictSweep relieves global budget pressure the writing shard could not:
+// round-robin the *other* shards, evicting each one's coldest entry, until
+// the ledger fits or they are empty. Reached when the overflow bytes live
+// in shards other than the one just written — the inverse of the skew the
+// global ledger exists to tolerate. Only if every other shard runs dry is
+// the writer's shard (down to, and including, the entry just admitted)
+// asked to give the bytes back — the "don't admit what you'd immediately
+// evict" behavior of size-aware caches, reserved for a store that is
+// otherwise empty.
+func (s *Sharded) evictSweep(writer *shard) {
+	for s.led.overBudget() {
+		evicted := false
+		for i := range s.shards {
+			if !s.led.overBudget() {
+				return
+			}
+			sh := &s.shards[i]
+			if sh == writer {
+				continue
+			}
+			sh.mu.Lock()
+			if sh.resident > 0 && sh.policy != PolicyNone {
+				sh.evictOne()
+				evicted = true
+			}
+			sh.mu.Unlock()
+		}
+		if !evicted {
+			break
+		}
+	}
+	if writer == nil {
+		return
+	}
+	writer.mu.Lock()
+	for writer.policy != PolicyNone && s.led.overBudget() && writer.resident > 0 {
+		writer.evictOne()
+	}
+	writer.mu.Unlock()
 }
 
 // Get returns the content under key; see FragmentStore.Get for strict.
@@ -251,6 +321,7 @@ func (s *Sharded) DropAll() {
 		for j := range sh.slots {
 			sh.slots[j] = entry{}
 		}
+		sh.led.release(sh.bytes)
 		sh.bytes = 0
 		sh.resident = 0
 		if sh.lru != nil {
@@ -339,6 +410,7 @@ func (sh *shard) touch(e *entry) {
 // remove clears a resident entry and detaches it from policy structures.
 func (sh *shard) remove(e *entry) {
 	sh.bytes -= int64(len(e.data))
+	sh.led.release(int64(len(e.data)))
 	sh.resident--
 	switch sh.policy {
 	case PolicyLRU:

@@ -1,0 +1,89 @@
+package pagecache
+
+import (
+	"time"
+
+	"dpcache/internal/clock"
+	"dpcache/internal/fragstore"
+)
+
+// CacheConfig parameterizes a Cache.
+type CacheConfig struct {
+	// MaxEntries bounds resident pages (0 selects 1024).
+	MaxEntries int
+	// ByteBudget bounds resident page bytes across the whole cache (0 =
+	// unbounded). Like every fragstore-backed tier it is one global
+	// ledger, not a per-shard split.
+	ByteBudget int64
+	// Eviction selects the policy ("", "lru", or "gdsf"; empty = lru).
+	Eviction string
+	// Clock drives TTL expiry (tests); nil = real clock.
+	Clock clock.Clock
+}
+
+// Cache is a URL-keyed whole-page store: a thin typed wrapper over
+// fragstore.KeyedStore holding complete response bodies plus their
+// content type. It carries no locking, LRU, or accounting of its own —
+// eviction (entry bound, global byte budget) and TTL expiry are owned by
+// the keyed store. Both consumers share it: the baseline Proxy in this
+// package and the DPC's pagecache pipeline stage.
+type Cache struct {
+	store *fragstore.KeyedStore
+}
+
+// NewCache returns a whole-page cache.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 1024
+	}
+	pol, err := fragstore.ParsePolicy(cfg.Eviction)
+	if err != nil {
+		return nil, err
+	}
+	store, err := fragstore.NewKeyed(fragstore.KeyedConfig{
+		MaxEntries: cfg.MaxEntries,
+		ByteBudget: cfg.ByteBudget,
+		Policy:     pol, // PolicyNone (the zero value) selects LRU in the keyed store
+		Clock:      cfg.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{store: store}, nil
+}
+
+// Get returns the cached page under key, if fresh.
+func (c *Cache) Get(key string) (body []byte, contentType string, ok bool) {
+	e, ok := c.store.Get(key)
+	if !ok {
+		return nil, "", false
+	}
+	return e.Value, e.Meta, true
+}
+
+// Put stores a page under key for ttl. Non-positive ttl is ignored: a
+// URL-keyed page cache cannot see fragment invalidations, so time is the
+// only freshness signal it has — an unexpiring page would be wrong
+// forever.
+func (c *Cache) Put(key string, body []byte, contentType string, ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	c.store.Put(key, fragstore.KeyedEntry{Value: body, Meta: contentType}, ttl)
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() { c.store.Flush() }
+
+// Len returns the resident page count.
+func (c *Cache) Len() int { return c.store.Len() }
+
+// Bytes returns the resident page bytes.
+func (c *Cache) Bytes() int64 { return c.store.Bytes() }
+
+// Stats exposes the backing keyed store's snapshot.
+func (c *Cache) Stats() fragstore.KeyedStats { return c.store.Stats() }
+
+// Store exposes the backing keyed store (conformance tests run the
+// fragment-store suite against it through AsFragmentStore).
+func (c *Cache) Store() *fragstore.KeyedStore { return c.store }

@@ -1,9 +1,11 @@
-// Package pagecache implements the paper's principal baseline: page-level
-// proxy caching (Section 3.2.1) — a conventional reverse proxy that caches
-// *entire* dynamically generated pages keyed by request URL.
+// Package pagecache implements whole-page caching: a URL-keyed store of
+// complete response bodies, used in two very different roles.
 //
-// It exists to demonstrate, measurably, the two failures the paper
-// attributes to this approach when applied to dynamic content:
+// As a standalone Proxy it is the paper's principal baseline: page-level
+// proxy caching (Section 3.2.1) — a conventional reverse proxy that caches
+// *entire* dynamically generated pages keyed by request URL, kept to
+// demonstrate, measurably, the two failures the paper attributes to this
+// approach:
 //
 //  1. Incorrect pages: the URL does not identify the content. Bob
 //     (registered) warms the cache; Alice (anonymous, same URL) receives
@@ -12,8 +14,16 @@
 //     volatile fragment (a stock price) forces regeneration of all the
 //     stable ones.
 //
-// The baselines experiment runs this proxy next to the DPC and the
-// no-cache configuration and reports bytes and correctness violations.
+// As a Cache it is the DPC's whole-page tier: the dpc package mounts it
+// as the "pagecache" pipeline stage for *anonymous-session* traffic only
+// (no Cookie, Authorization, or X-User), where the URL does identify the
+// content and the baseline's correctness flaw cannot occur. Short TTLs
+// bound its staleness — a page cache cannot see fragment invalidations.
+//
+// Storage is fragstore.KeyedStore in both roles: this package owns no
+// mutexes, LRU lists, or byte accounting. Eviction (entry bound and the
+// global byte-budget ledger) and TTL expiry belong to the keyed store;
+// this package only chooses keys and TTLs.
 package pagecache
 
 import (
@@ -24,11 +34,10 @@ import (
 	"time"
 
 	"dpcache/internal/clock"
-	"dpcache/internal/dpc"
 	"dpcache/internal/metrics"
 )
 
-// Config parameterizes the page cache.
+// Config parameterizes the baseline page-cache proxy.
 type Config struct {
 	// OriginURL is the origin base URL. Required.
 	OriginURL string
@@ -46,10 +55,11 @@ type Config struct {
 	Registry *metrics.Registry
 }
 
-// Proxy is a URL-keyed full-page cache.
+// Proxy is a URL-keyed full-page caching reverse proxy — the paper's
+// flawed baseline, preserved as a measurable artifact.
 type Proxy struct {
 	cfg    Config
-	cache  *dpc.StaticCache // reused URL-keyed store; here it holds pages
+	cache  *Cache
 	client *http.Client
 	reg    *metrics.Registry
 }
@@ -70,9 +80,13 @@ func New(cfg Config) (*Proxy, error) {
 	if transport == nil {
 		transport = &http.Transport{MaxIdleConnsPerHost: 64}
 	}
+	cache, err := NewCache(CacheConfig{MaxEntries: cfg.MaxEntries, Clock: cfg.Clock})
+	if err != nil {
+		return nil, err
+	}
 	return &Proxy{
 		cfg:    cfg,
-		cache:  dpc.NewStaticCache(cfg.MaxEntries, cfg.Clock),
+		cache:  cache,
 		client: &http.Client{Transport: transport, Timeout: 30 * time.Second},
 		reg:    reg,
 	}, nil
@@ -80,6 +94,9 @@ func New(cfg Config) (*Proxy, error) {
 
 // Registry returns the proxy's metrics registry.
 func (p *Proxy) Registry() *metrics.Registry { return p.reg }
+
+// Cache returns the underlying whole-page cache.
+func (p *Proxy) Cache() *Cache { return p.cache }
 
 // ServeHTTP implements http.Handler. The cache key is the request URI and
 // nothing else — deliberately reproducing the baseline's flaw: user
@@ -142,7 +159,4 @@ func (p *Proxy) write(w http.ResponseWriter, body []byte, ctype, state string) {
 }
 
 // Flush empties the cache (experiments use it between phases).
-func (p *Proxy) Flush() {
-	// StaticCache has no bulk clear; drop via a fresh instance.
-	p.cache = dpc.NewStaticCache(p.cfg.MaxEntries, p.cfg.Clock)
-}
+func (p *Proxy) Flush() { p.cache.Flush() }

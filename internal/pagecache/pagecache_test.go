@@ -11,7 +11,45 @@ import (
 	"time"
 
 	"dpcache/internal/clock"
+	"dpcache/internal/fragstore"
+	"dpcache/internal/fragstore/storetest"
 )
+
+// The page cache is a wrapper over the sharded keyed store — no private
+// cache implementation. The fragment-store conformance suite must hold
+// against its backing store, through the same adapter every keyed tier
+// shares.
+func TestPageCacheStoreConformance(t *testing.T) {
+	storetest.Run(t, "pagecache", func(capacity int) (fragstore.FragmentStore, error) {
+		c, err := NewCache(CacheConfig{MaxEntries: 1 << 20})
+		if err != nil {
+			return nil, err
+		}
+		return c.Store().AsFragmentStore(capacity)
+	})
+}
+
+func TestCacheByteBudgetEvicts(t *testing.T) {
+	c, err := NewCache(CacheConfig{ByteBudget: 1000, Eviction: "lru"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		c.Put(fmt.Sprintf("/p%d", i), make([]byte, 100), "text/html", time.Minute)
+	}
+	if got := c.Bytes(); got > 1000 {
+		t.Fatalf("resident %d bytes, over the 1000 budget", got)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatal("no evictions under over-budget puts")
+	}
+}
+
+func TestCacheRejectsBadEviction(t *testing.T) {
+	if _, err := NewCache(CacheConfig{Eviction: "arc"}); err == nil {
+		t.Fatal("unknown eviction policy accepted")
+	}
+}
 
 func newOriginServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
 	t.Helper()
