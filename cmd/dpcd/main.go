@@ -29,13 +29,25 @@
 // cached for -pagecache-ttl — keyed by method, URI, and the forwarded
 // variant headers, the same derivation as the coalesce key — and served
 // with X-Cache: PAGE, so a burst on a hot page costs one origin fetch.
-// Identity-bearing requests bypass the tier. Off by default — a page
-// cache cannot see fragment invalidations, so the TTL is its only
-// staleness bound, and like -coalesce the key excludes the per-client
-// X-Forwarded-For, so origins that vary responses on client IP must not
-// enable it:
+// Identity-bearing requests bypass the tier. Off by default, and like
+// -coalesce the key excludes the per-client X-Forwarded-For, so origins
+// that vary responses on client IP must not enable it:
 //
 //	dpcd -pagecache -pagecache-ttl 2s -pagecache-entries 4096
+//
+// Page-tier entries are stamped with a strong ETag; anonymous
+// revalidations with a matching If-None-Match are answered 304 with no
+// body. Freshness beyond the TTL comes from the invalidation fabric:
+// -invalidate mounts /_dpc/invalidate, and a hub-side
+// coherency.RemoteSubscriber POSTing the BEM's events there fans each
+// fragment invalidation out to every tier — the slot store drops the
+// fragment, and the page tier consults the in-proxy dependency index
+// (bounded by -depindex-budget) to drop exactly the pages composed from
+// it, falling back to a tier flush when the index evicted the edge. The
+// endpoint is an unauthenticated write surface on the serving listener
+// (a forged event or sequence gap forces conservative tier flushes), so
+// it is off by default: enable it only where the listener is reachable
+// solely by the hub side.
 //
 // Store occupancy, byte, and eviction metrics are served from
 // /_dpc/stats, refreshed in the background every -publish interval and,
@@ -49,6 +61,8 @@ import (
 	"net/http"
 	"time"
 
+	"dpcache/internal/coherency"
+	"dpcache/internal/core"
 	"dpcache/internal/dpc"
 	"dpcache/internal/fragstore"
 	"dpcache/internal/tmpl"
@@ -72,6 +86,8 @@ func main() {
 	pageTTL := flag.Duration("pagecache-ttl", 0, "whole-page cache freshness window (0 = 2s default)")
 	pageEntries := flag.Int("pagecache-entries", 0, "whole-page cache resident page bound (0 = 1024 default)")
 	pageBudget := flag.Int64("pagecache-budget", 0, "whole-page cache resident byte bound (0 = unbounded)")
+	invalidate := flag.Bool("invalidate", false, "mount the coherency invalidation endpoint at /_dpc/invalidate, fanning hub events to every cache tier (unauthenticated write endpoint on the serving listener — enable only where the hub side is the sole client)")
+	depBudget := flag.Int64("depindex-budget", 0, "dependency-index edge byte budget for surgical page invalidation (0 = 1MiB default)")
 	publishEvery := flag.Duration("publish", 10*time.Second, "background dpc.store.* gauge refresh interval (0 = disabled)")
 	statusEvery := flag.Duration("status", 0, "log store status at this interval (0 = disabled)")
 	flag.Parse()
@@ -108,10 +124,20 @@ func main() {
 		PageCacheTTL:        *pageTTL,
 		PageCacheEntries:    *pageEntries,
 		PageCacheBudget:     *pageBudget,
+		DepIndexBudget:      *depBudget,
 		PublishInterval:     publish,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *invalidate {
+		// Every cache tier subscribes to the invalidation fabric through
+		// one endpoint: the hub side (a coherency.RemoteSubscriber
+		// pointed at /_dpc/invalidate) POSTs events here, and fragment
+		// drops fan out to the slot store plus — consulting the
+		// dependency index — the page and static tiers.
+		fan := coherency.Fanout(core.ProxySubscribers(proxy, proxy.Registry())...)
+		proxy.HandleAdmin("/_dpc/invalidate", coherency.Handler(fan))
 	}
 	st := store.Stats()
 	fmt.Printf("dpcd: proxying %s on %s (capacity %d, %s codec, strict=%v, coalesce=%v, stream=%v, pagecache=%v)\n",

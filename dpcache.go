@@ -215,6 +215,11 @@ type (
 	// StoreSubscriber applies hub invalidations to an edge's fragment
 	// store.
 	StoreSubscriber = coherency.StoreSubscriber
+	// TierSubscriber keeps a keyed cache tier (page or static) coherent
+	// with the hub via the proxy's dependency index.
+	TierSubscriber = coherency.TierSubscriber
+	// CoherencyEvent is one typed hub event (fragment, purge, or flush).
+	CoherencyEvent = coherency.Event
 )
 
 // NewRouter returns an empty edge router.
@@ -226,6 +231,20 @@ func NewCoherencyHub(mon *Monitor) *CoherencyHub { return coherency.NewHub(mon) 
 // NewStoreSubscriber wraps an edge proxy's store for hub subscription.
 func NewStoreSubscriber(p *Proxy) *StoreSubscriber {
 	return coherency.NewStoreSubscriber(p.Store())
+}
+
+// NewPageSubscriber wraps a proxy's whole-page tier (with its dependency
+// index) for hub subscription, so fragment invalidations drop dependent
+// pages the moment they happen. Returns nil when the proxy runs no page
+// tier.
+func NewPageSubscriber(p *Proxy) *TierSubscriber {
+	pages := p.Pages()
+	if pages == nil {
+		return nil
+	}
+	sub := coherency.NewPageSubscriber(pages, p.DepIndex())
+	sub.KeyPrefix = dpc.PageKeyPrefix
+	return sub
 }
 
 // Analytical model (paper Section 5).

@@ -76,6 +76,27 @@ type FragmentInfo struct {
 	Hits       int64
 }
 
+// InvalidationReason says why a fragment became invalid; the invalidation
+// hook reports it so downstream consumers (the coherency fabric, metrics)
+// can distinguish data-driven drops from TTL churn and slot pressure.
+type InvalidationReason string
+
+// Invalidation reasons, matching the Stats counters.
+const (
+	// ReasonTTL: the fragment's time-to-live expired.
+	ReasonTTL InvalidationReason = "ttl"
+	// ReasonData: a repository write touched a declared dependency.
+	ReasonData InvalidationReason = "data"
+	// ReasonExplicit: Invalidate was called on the fragment by name.
+	ReasonExplicit InvalidationReason = "explicit"
+	// ReasonStale: a DPC reported it could not satisfy a GET for the slot.
+	ReasonStale InvalidationReason = "stale"
+	// ReasonEviction: the replacement manager reclaimed the slot.
+	ReasonEviction InvalidationReason = "eviction"
+	// ReasonForced: the experiment hook forced a miss.
+	ReasonForced InvalidationReason = "forced"
+)
+
 // Decision is the outcome of a Lookup.
 type Decision struct {
 	// Hit reports whether the fragment may be served from the DPC. On a
@@ -134,14 +155,15 @@ type Monitor struct {
 
 	// onInvalidate hooks fire (outside the monitor lock) after a fragment
 	// is invalidated; the coherency extension uses this to broadcast to
-	// edge DPCs.
+	// edge DPCs and the keyed cache tiers.
 	hookMu       sync.RWMutex
-	onInvalidate []func(fragmentID string, key, gen uint32)
+	onInvalidate []func(fragmentID string, key, gen uint32, reason InvalidationReason)
 }
 
 type hookEvent struct {
 	fragmentID string
 	key, gen   uint32
+	reason     InvalidationReason
 }
 
 // New returns a Monitor with all dpcKeys [0, Capacity) on the freeList.
@@ -179,9 +201,11 @@ func (m *Monitor) BindRepo(r *repository.Repo) {
 	})
 }
 
-// OnInvalidate registers a hook called after every invalidation (TTL,
-// data-driven, explicit, or eviction). Hooks run outside the monitor lock.
-func (m *Monitor) OnInvalidate(fn func(fragmentID string, key, gen uint32)) {
+// OnInvalidate registers a hook called after every invalidation with the
+// fragment's identity (ID, slot key, generation) and the reason it died
+// (TTL, data-driven, explicit, stale report, eviction, or forced miss).
+// Hooks run outside the monitor lock.
+func (m *Monitor) OnInvalidate(fn func(fragmentID string, key, gen uint32, reason InvalidationReason)) {
 	m.hookMu.Lock()
 	defer m.hookMu.Unlock()
 	m.onInvalidate = append(m.onInvalidate, fn)
@@ -204,7 +228,7 @@ func (m *Monitor) fire(evs []hookEvent) {
 	m.hookMu.RUnlock()
 	for _, ev := range evs {
 		for _, fn := range hooks {
-			fn(ev.fragmentID, ev.key, ev.gen)
+			fn(ev.fragmentID, ev.key, ev.gen, ev.reason)
 		}
 	}
 }
@@ -226,10 +250,10 @@ func (m *Monitor) Lookup(fragmentID string, ttl time.Duration) (Decision, error)
 	e, ok := m.dir[fragmentID]
 	if ok && e.valid && !e.expiry.IsZero() && !now.Before(e.expiry) {
 		// Lazy TTL invalidation.
-		m.invalidateLocked(e, &m.stats.TTLInvalidations)
+		m.invalidateLocked(e, &m.stats.TTLInvalidations, ReasonTTL)
 	}
 	if ok && e.valid && m.cfg.ForcedMissProb > 0 && m.rng.Float64() < m.cfg.ForcedMissProb {
-		m.invalidateLocked(e, &m.stats.ForcedMisses)
+		m.invalidateLocked(e, &m.stats.ForcedMisses, ReasonForced)
 	}
 
 	if ok && e.valid {
@@ -347,13 +371,13 @@ func (m *Monitor) evictLRULocked() error {
 	if victim == nil {
 		return fmt.Errorf("bem: freeList empty but no valid fragment to evict (capacity %d)", m.cfg.Capacity)
 	}
-	m.invalidateLocked(victim, &m.stats.Evictions)
+	m.invalidateLocked(victim, &m.stats.Evictions, ReasonEviction)
 	return nil
 }
 
 // invalidateLocked marks e invalid, returns its key to the freeList tail,
-// and schedules the invalidation hook.
-func (m *Monitor) invalidateLocked(e *entry, counter *int64) {
+// and schedules the invalidation hook with its reason.
+func (m *Monitor) invalidateLocked(e *entry, counter *int64, reason InvalidationReason) {
 	if !e.valid {
 		return
 	}
@@ -362,7 +386,7 @@ func (m *Monitor) invalidateLocked(e *entry, counter *int64) {
 	if counter != nil {
 		*counter++
 	}
-	m.pendingHooks = append(m.pendingHooks, hookEvent{e.fragmentID, e.dpcKey, e.gen})
+	m.pendingHooks = append(m.pendingHooks, hookEvent{e.fragmentID, e.dpcKey, e.gen, reason})
 }
 
 func (m *Monitor) removeEntryLocked(e *entry) {
@@ -377,7 +401,7 @@ func (m *Monitor) Invalidate(fragmentID string) bool {
 	e, ok := m.dir[fragmentID]
 	hit := ok && e.valid
 	if hit {
-		m.invalidateLocked(e, &m.stats.ExplicitInvalidations)
+		m.invalidateLocked(e, &m.stats.ExplicitInvalidations, ReasonExplicit)
 	}
 	evs := m.drainHooksLocked()
 	m.mu.Unlock()
@@ -396,7 +420,7 @@ func (m *Monitor) InvalidateStale(key, gen uint32) bool {
 	var hit bool
 	if fragID, ok := m.byKey[key]; ok {
 		if e, ok := m.dir[fragID]; ok && e.valid && e.dpcKey == key && e.gen == gen {
-			m.invalidateLocked(e, &m.stats.StaleInvalidations)
+			m.invalidateLocked(e, &m.stats.StaleInvalidations, ReasonStale)
 			hit = true
 		}
 	}
@@ -413,7 +437,7 @@ func (m *Monitor) InvalidateDependents(k repository.Key) int {
 	n := 0
 	for fragID := range m.deps[k] {
 		if e, ok := m.dir[fragID]; ok && e.valid {
-			m.invalidateLocked(e, &m.stats.DataInvalidations)
+			m.invalidateLocked(e, &m.stats.DataInvalidations, ReasonData)
 			n++
 		}
 	}
@@ -432,7 +456,7 @@ func (m *Monitor) SweepExpired() int {
 	n := 0
 	for _, e := range m.dir {
 		if e.valid && !e.expiry.IsZero() && !now.Before(e.expiry) {
-			m.invalidateLocked(e, &m.stats.TTLInvalidations)
+			m.invalidateLocked(e, &m.stats.TTLInvalidations, ReasonTTL)
 			n++
 		}
 	}

@@ -292,7 +292,7 @@ func TestOnInvalidateHookFires(t *testing.T) {
 	m := newMonitor(t, 4)
 	var mu sync.Mutex
 	var got []string
-	m.OnInvalidate(func(fragID string, key, gen uint32) {
+	m.OnInvalidate(func(fragID string, key, gen uint32, reason InvalidationReason) {
 		mu.Lock()
 		got = append(got, fragID)
 		mu.Unlock()
@@ -315,7 +315,7 @@ func TestHookFiresOnTTLAndEviction(t *testing.T) {
 	}
 	var mu sync.Mutex
 	count := 0
-	m.OnInvalidate(func(string, uint32, uint32) {
+	m.OnInvalidate(func(string, uint32, uint32, InvalidationReason) {
 		mu.Lock()
 		count++
 		mu.Unlock()

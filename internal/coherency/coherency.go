@@ -1,39 +1,77 @@
-// Package coherency addresses the second open problem of the paper's
-// Section 7: keeping multiple forward-deployed Dynamic Proxy Caches
-// coherent when source-data changes invalidate fragments.
+// Package coherency is the invalidation fabric: it turns the BEM's
+// invalidation stream into a sequenced broadcast that *every* cache tier
+// subscribes to — fragment stores on edge DPCs, and the keyed page and
+// static tiers on any proxy.
 //
-// The reverse-proxy design needs no invalidation channel at all — the BEM
-// simply stops referencing a slot until a SET reuses it. With several edge
-// caches that silence is no longer enough: a proxy that cached a fragment
-// keeps serving it until its own slot is overwritten, which may never
-// happen if later traffic for the fragment routes elsewhere.
+// It began (paper Section 7) as the answer to multi-edge fragment
+// coherency: the reverse-proxy design needs no invalidation channel at
+// all — the BEM simply stops referencing a slot until a SET reuses it —
+// but a forward-deployed DPC that cached a fragment keeps serving it
+// until its own slot is overwritten, which may never happen. The same
+// silence problem reappears inside a single proxy once whole pages are
+// cached: a page-tier entry is an opaque blob the BEM's slot discipline
+// cannot reach, so without the fabric only its TTL bounds staleness.
 //
-// The Hub turns the BEM's invalidation stream into a sequenced broadcast.
-// Each event carries a monotonically increasing sequence number; a
-// subscriber that observes a gap (lost event) conservatively flushes its
-// whole store and resynchronizes, trading a burst of misses for guaranteed
-// freshness. Subscribers acknowledge events, and AckedThrough reports the
-// sequence number every subscriber has durably applied — the property the
-// stale-read tests assert on.
+// The Hub assigns each event a monotonically increasing sequence number;
+// a subscriber that observes a gap (lost event) conservatively flushes
+// its whole store and resynchronizes, trading a burst of misses for
+// guaranteed freshness. Events are typed: fragment invalidations (the
+// BEM's stream), scoped URI purges, and whole-tier flushes. Subscribers
+// acknowledge events, and AckedThrough reports the sequence number every
+// subscriber has durably applied — the property the stale-read tests
+// assert on.
+//
+// Three subscriber families cover the tiers:
+//
+//   - StoreSubscriber drops fragment-store slots (any fragstore backend).
+//   - PageSubscriber / StaticSubscriber (TierSubscriber) consult the
+//     proxy's dependency index (internal/depindex) to surgically drop
+//     only the keyed entries composed from the invalidated fragment,
+//     falling back to a scoped tier flush when the index has evicted the
+//     edge and cannot answer authoritatively.
 package coherency
 
 import (
 	"sync"
 
 	"dpcache/internal/bem"
+	"dpcache/internal/depindex"
 	"dpcache/internal/fragstore"
+)
+
+// Kind discriminates event payloads.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindFragment invalidates one fragment (slot key + generation).
+	KindFragment Kind = iota
+	// KindPurge drops every keyed-tier entry for one request URI (all
+	// variants) — an explicit, surgical purge.
+	KindPurge
+	// KindFlush empties the tiers matching Scope.
+	KindFlush
 )
 
 // Event is one broadcast invalidation.
 type Event struct {
 	// Seq is the hub-assigned sequence number, starting at 1.
 	Seq uint64
-	// FragmentID names the invalidated fragment.
+	// Kind selects which payload fields below are meaningful.
+	Kind Kind
+	// FragmentID names the invalidated fragment (KindFragment).
 	FragmentID string
-	// Key is the DPC slot the fragment occupied.
+	// Key is the DPC slot the fragment occupied (KindFragment).
 	Key uint32
-	// Gen is the generation that became invalid.
+	// Gen is the generation that became invalid (KindFragment).
 	Gen uint32
+	// Reason says why the fragment died (KindFragment; bem reason string).
+	Reason string
+	// URI is the request URI whose entries are purged (KindPurge).
+	URI string
+	// Scope targets KindFlush: "page", "static", "store", or "" for every
+	// tier.
+	Scope string
 }
 
 // Subscriber consumes invalidation events. Apply must be idempotent; the
@@ -44,7 +82,7 @@ type Subscriber interface {
 	Apply(ev Event) uint64
 }
 
-// Hub fans the BEM's invalidations out to edge subscribers.
+// Hub fans invalidation events out to subscribers.
 type Hub struct {
 	mu   sync.Mutex
 	seq  uint64
@@ -58,8 +96,11 @@ type Hub struct {
 // NewHub returns a hub wired to the monitor's invalidation stream.
 func NewHub(mon *bem.Monitor) *Hub {
 	h := &Hub{MaxLog: 4096}
-	mon.OnInvalidate(func(fragID string, key, gen uint32) {
-		h.Broadcast(fragID, key, gen)
+	mon.OnInvalidate(func(fragID string, key, gen uint32, reason bem.InvalidationReason) {
+		h.BroadcastEvent(Event{
+			Kind: KindFragment, FragmentID: fragID, Key: key, Gen: gen,
+			Reason: string(reason),
+		})
 	})
 	return h
 }
@@ -73,12 +114,30 @@ func (h *Hub) Subscribe(s Subscriber) {
 	h.acks = append(h.acks, h.seq) // nothing older can be stale in it
 }
 
-// Broadcast assigns the next sequence number and delivers the event to
-// every subscriber synchronously.
+// Broadcast delivers a fragment invalidation (compatibility helper; the
+// generalized entry point is BroadcastEvent).
 func (h *Hub) Broadcast(fragID string, key, gen uint32) Event {
+	return h.BroadcastEvent(Event{Kind: KindFragment, FragmentID: fragID, Key: key, Gen: gen})
+}
+
+// BroadcastPurge drops every keyed-tier entry (page and static, all
+// variants) for one request URI on every subscriber.
+func (h *Hub) BroadcastPurge(uri string) Event {
+	return h.BroadcastEvent(Event{Kind: KindPurge, URI: uri})
+}
+
+// BroadcastFlush empties the tiers matching scope ("page", "static",
+// "store", or "" for all) on every subscriber.
+func (h *Hub) BroadcastFlush(scope string) Event {
+	return h.BroadcastEvent(Event{Kind: KindFlush, Scope: scope})
+}
+
+// BroadcastEvent assigns the next sequence number and delivers the event
+// to every subscriber synchronously.
+func (h *Hub) BroadcastEvent(ev Event) Event {
 	h.mu.Lock()
 	h.seq++
-	ev := Event{Seq: h.seq, FragmentID: fragID, Key: key, Gen: gen}
+	ev.Seq = h.seq
 	h.log = append(h.log, ev)
 	if max := h.MaxLog; max > 0 && len(h.log) > max {
 		h.log = append([]Event(nil), h.log[len(h.log)-max:]...)
@@ -142,8 +201,27 @@ func (h *Hub) Events(after uint64) (evs []Event, ok bool) {
 	return evs, true
 }
 
-// StoreSubscriber applies invalidations to an edge DPC's fragment store
-// (any fragstore backend): the slot is dropped so the next GET misses and
+// Fanout combines subscribers into one: Apply delivers the event to each
+// and acknowledges the minimum — the hub's at-least-once/gap semantics
+// then hold for the slowest member. The HTTP bridge uses it to drive
+// every tier of an edge proxy from one invalidation endpoint.
+func Fanout(subs ...Subscriber) Subscriber { return fanout(subs) }
+
+type fanout []Subscriber
+
+func (f fanout) Apply(ev Event) uint64 {
+	var min uint64
+	for i, s := range f {
+		acked := s.Apply(ev)
+		if i == 0 || acked < min {
+			min = acked
+		}
+	}
+	return min
+}
+
+// StoreSubscriber applies invalidations to a DPC's fragment store (any
+// fragstore backend): the slot is dropped so the next GET misses and
 // triggers the strict-mode refetch. A sequence gap flushes every slot.
 type StoreSubscriber struct {
 	mu      sync.Mutex
@@ -168,14 +246,26 @@ func (s *StoreSubscriber) Apply(ev Event) uint64 {
 		s.flushes++
 	}
 	if ev.Seq > s.lastSeq {
-		s.store.Drop(ev.Key)
+		switch ev.Kind {
+		case KindFragment:
+			s.store.Drop(ev.Key)
+		case KindFlush:
+			if ev.Scope == "" || ev.Scope == "store" {
+				s.store.DropAll()
+				s.flushes++
+			}
+		case KindPurge:
+			// Keyed-tier payload; nothing for a slot store to do, but the
+			// sequence cursor still advances so no false gap follows.
+		}
 		s.lastSeq = ev.Seq
 		s.applied++
 	}
 	return s.lastSeq
 }
 
-// Flushes reports how many full flushes gap detection forced.
+// Flushes reports how many full flushes were applied (gap detection or
+// flush-scope events).
 func (s *StoreSubscriber) Flushes() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -192,6 +282,195 @@ func (s *StoreSubscriber) Applied() int {
 // SeedSeq initializes the subscriber's sequence cursor (used when
 // attaching to a hub mid-stream after an explicit flush).
 func (s *StoreSubscriber) SeedSeq(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastSeq = seq
+}
+
+// KeyedTier is the string-keyed cache surface a TierSubscriber drives —
+// implemented by pagecache.Cache and therefore by the DPC's page and
+// static tiers.
+type KeyedTier interface {
+	// Delete removes one entry, reporting whether it was resident.
+	Delete(key string) bool
+	// DeleteFunc removes entries by predicate, returning the count.
+	DeleteFunc(pred func(key string) bool) int
+	// Flush empties the tier.
+	Flush()
+}
+
+// TierSubscriber keeps one keyed cache tier (page or static) coherent
+// with the BEM's fragment stream. On a fragment invalidation it asks the
+// dependency index which keys were composed from the dead fragment and
+// drops exactly those; when the index cannot answer authoritatively (the
+// edge was evicted recently) it falls back to flushing the tier. It
+// always tombstones the invalidated ref first, so in-flight response
+// captures that read the fragment before it died refuse to file.
+type TierSubscriber struct {
+	mu   sync.Mutex
+	tier KeyedTier
+	ix   *depindex.Index
+	// scope is the tier's flush-scope name ("page" or "static").
+	scope string
+	// fragmentEvents marks the tier as able to hold fragment-composed
+	// entries. When false (the static tier: it structurally never stores
+	// assembled content), fragment invalidations are skipped outright —
+	// consulting the shared index would double-count lookups and, under
+	// index eviction pressure, needlessly flush the tier per event.
+	fragmentEvents bool
+
+	lastSeq   uint64
+	applied   int
+	dropped   int64
+	flushes   int
+	fallbacks int
+
+	// KeyPrefix maps a purge URI to the tier's key-prefix for that URI
+	// (every variant shares it). Set by the wiring layer, which knows the
+	// tier's key schema; nil disables KindPurge handling.
+	KeyPrefix func(uri string) string
+	// OnDrop, when set, observes every batch of surgically dropped
+	// entries (the wiring layer bumps a metrics counter here).
+	OnDrop func(n int)
+	// OnFlush, when set, observes tier flushes (gap or fallback).
+	OnFlush func()
+}
+
+// NewPageSubscriber returns a subscriber keeping a whole-page tier
+// coherent. ix is the owning proxy's dependency index; nil is allowed
+// and makes every fragment event a conservative tier flush.
+func NewPageSubscriber(tier KeyedTier, ix *depindex.Index) *TierSubscriber {
+	return &TierSubscriber{tier: tier, ix: ix, scope: "page", fragmentEvents: true}
+}
+
+// NewStaticSubscriber returns a subscriber keeping a static tier
+// coherent. The static tier structurally cannot hold fragment-composed
+// content (cacheableStatic refuses template responses), so fragment
+// invalidations are skipped; the subscriber exists for purge/flush
+// events and gap recovery. A future tier that stores assembled content
+// under URL keys must instead subscribe like the page tier and record
+// its edges in the index.
+func NewStaticSubscriber(tier KeyedTier, ix *depindex.Index) *TierSubscriber {
+	return &TierSubscriber{tier: tier, ix: ix, scope: "static"}
+}
+
+// Apply implements Subscriber.
+func (s *TierSubscriber) Apply(ev Event) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastSeq != 0 && ev.Seq != s.lastSeq+1 && ev.Seq > s.lastSeq {
+		s.flushLocked() // gap: events were lost
+	}
+	if ev.Seq <= s.lastSeq {
+		return s.lastSeq // duplicate or stale redelivery
+	}
+	s.lastSeq = ev.Seq
+	s.applied++
+	switch ev.Kind {
+	case KindFragment:
+		if s.fragmentEvents {
+			s.applyFragmentLocked(ev)
+		}
+	case KindPurge:
+		if s.KeyPrefix != nil {
+			prefix := s.KeyPrefix(ev.URI)
+			n := s.tier.DeleteFunc(func(key string) bool {
+				return len(key) >= len(prefix) && key[:len(prefix)] == prefix
+			})
+			s.noteDropsLocked(n)
+		}
+	case KindFlush:
+		if ev.Scope == "" || ev.Scope == s.scope {
+			s.flushLocked()
+		}
+	}
+	return s.lastSeq
+}
+
+func (s *TierSubscriber) applyFragmentLocked(ev Event) {
+	if s.ix == nil {
+		// No index to consult: the only sound answer is a flush.
+		s.fallbacks++
+		s.flushLocked()
+		return
+	}
+	ref := depindex.Ref(ev.Key, ev.Gen)
+	// Tombstone first: an in-flight capture that read this fragment's
+	// bytes before the drop must see the marker when it files, whichever
+	// side of our Delete its Put lands on.
+	s.ix.MarkInvalid(ref)
+	keys, exact := s.ix.Dependents(ref)
+	if !exact {
+		// The index evicted edges recently; this fragment's may be among
+		// them. Trade a burst of misses for guaranteed freshness.
+		s.fallbacks++
+		s.flushLocked()
+		return
+	}
+	n := 0
+	for _, k := range keys {
+		if s.tier.Delete(k) {
+			n++
+		}
+	}
+	s.noteDropsLocked(n)
+}
+
+func (s *TierSubscriber) flushLocked() {
+	s.tier.Flush()
+	if s.ix != nil {
+		// Kill in-flight fills too: a capture filed after this flush
+		// would resurrect an entry the flush was meant to remove.
+		s.ix.BumpEpoch()
+	}
+	s.flushes++
+	if s.OnFlush != nil {
+		s.OnFlush()
+	}
+}
+
+func (s *TierSubscriber) noteDropsLocked(n int) {
+	if n <= 0 {
+		return
+	}
+	s.dropped += int64(n)
+	if s.OnDrop != nil {
+		s.OnDrop(n)
+	}
+}
+
+// Applied reports how many events were applied.
+func (s *TierSubscriber) Applied() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Dropped reports how many entries were surgically dropped.
+func (s *TierSubscriber) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Flushes reports tier flushes (gaps, flush events, index fallbacks).
+func (s *TierSubscriber) Flushes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushes
+}
+
+// Fallbacks reports fragment events the index could not answer
+// authoritatively, each of which forced a tier flush.
+func (s *TierSubscriber) Fallbacks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fallbacks
+}
+
+// SeedSeq initializes the sequence cursor (attach mid-stream after an
+// explicit flush).
+func (s *TierSubscriber) SeedSeq(seq uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.lastSeq = seq

@@ -1,0 +1,255 @@
+package coherency
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dpcache/internal/bem"
+	"dpcache/internal/depindex"
+	"dpcache/internal/pagecache"
+)
+
+func newTier(t *testing.T) *pagecache.Cache {
+	t.Helper()
+	c, err := pagecache.NewCache(pagecache.CacheConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// A fragment invalidation must drop exactly the keyed entries the
+// dependency index recorded as composed from it — nothing more.
+func TestTierSubscriberDropsDependents(t *testing.T) {
+	tier := newTier(t)
+	ix := depindex.New(depindex.Config{Horizon: time.Minute})
+	tier.Put("pageA", []byte("a"), "", time.Minute)
+	tier.Put("pageB", []byte("b"), "", time.Minute)
+	tier.Put("pageC", []byte("c"), "", time.Minute)
+	ix.Record(depindex.Ref(5, 9), "pageA")
+	ix.Record(depindex.Ref(5, 9), "pageB")
+	ix.Record(depindex.Ref(6, 1), "pageC")
+
+	sub := NewPageSubscriber(tier, ix)
+	mon, _ := bem.New(bem.Config{Capacity: 8})
+	hub := NewHub(mon)
+	hub.Subscribe(sub)
+
+	hub.Broadcast("frag", 5, 9)
+	if _, _, ok := tier.Get("pageA"); ok {
+		t.Fatal("pageA survived its fragment's invalidation")
+	}
+	if _, _, ok := tier.Get("pageB"); ok {
+		t.Fatal("pageB survived its fragment's invalidation")
+	}
+	if _, _, ok := tier.Get("pageC"); !ok {
+		t.Fatal("pageC dropped though its fragment is alive")
+	}
+	if sub.Dropped() != 2 || sub.Flushes() != 0 {
+		t.Fatalf("dropped=%d flushes=%d, want 2/0", sub.Dropped(), sub.Flushes())
+	}
+	// The invalidated ref is tombstoned for in-flight fills.
+	if !ix.AnyInvalid([]string{depindex.Ref(5, 9)}) {
+		t.Fatal("invalidated ref not tombstoned")
+	}
+	// A fragment with no recorded dependents is a surgical no-op.
+	hub.Broadcast("other", 7, 1)
+	if tier.Len() != 1 || sub.Flushes() != 0 {
+		t.Fatalf("no-dependent event disturbed the tier: len=%d flushes=%d", tier.Len(), sub.Flushes())
+	}
+}
+
+// When the index evicted the edge under byte pressure, the subscriber
+// cannot know which pages held the fragment — it must flush the tier
+// (the documented fallback) rather than risk serving stale bytes.
+func TestTierSubscriberEvictionFallbackFlushes(t *testing.T) {
+	tier := newTier(t)
+	// A budget small enough that recording evicts earlier fragments.
+	ix := depindex.New(depindex.Config{Shards: 1, ByteBudget: 256, Horizon: time.Minute})
+	tier.Put("victim-page", []byte("stale bytes"), "", time.Minute)
+	ix.Record(depindex.Ref(1, 1), "victim-page")
+	for i := uint32(2); i < 40; i++ {
+		ix.Record(depindex.Ref(i, 1), "some-other-rather-long-page-key")
+	}
+	if ix.Stats().Evictions == 0 {
+		t.Fatal("test setup: no evictions occurred")
+	}
+
+	sub := NewPageSubscriber(tier, ix)
+	sub.Apply(Event{Seq: 1, Kind: KindFragment, Key: 1, Gen: 1})
+	if _, _, ok := tier.Get("victim-page"); ok {
+		t.Fatal("evicted-edge invalidation left the dependent page resident")
+	}
+	if sub.Fallbacks() != 1 || sub.Flushes() != 1 {
+		t.Fatalf("fallbacks=%d flushes=%d, want 1/1", sub.Fallbacks(), sub.Flushes())
+	}
+}
+
+// A sequence gap (lost event) must flush the tier and bump the index
+// epoch so in-flight fills discard too.
+func TestTierSubscriberGapFlushes(t *testing.T) {
+	tier := newTier(t)
+	ix := depindex.New(depindex.Config{Horizon: time.Minute})
+	tier.Put("p", []byte("x"), "", time.Minute)
+	sub := NewPageSubscriber(tier, ix)
+	e0 := ix.Epoch()
+
+	sub.Apply(Event{Seq: 1, Kind: KindFragment, Key: 0, Gen: 1})
+	sub.Apply(Event{Seq: 3, Kind: KindFragment, Key: 1, Gen: 1}) // 2 lost
+	if tier.Len() != 0 {
+		t.Fatal("gap did not flush the tier")
+	}
+	if sub.Flushes() != 1 {
+		t.Fatalf("flushes = %d", sub.Flushes())
+	}
+	if ix.Epoch() == e0 {
+		t.Fatal("gap flush did not bump the index epoch")
+	}
+	// Duplicates after the gap are idempotent.
+	before := sub.Applied()
+	sub.Apply(Event{Seq: 3, Kind: KindFragment, Key: 1, Gen: 1})
+	if sub.Applied() != before {
+		t.Fatal("duplicate event applied twice")
+	}
+}
+
+// A purge event drops every variant of one URI — and only that URI —
+// using the tier's key-prefix schema supplied by the wiring layer.
+func TestTierSubscriberPurgeDropsVariants(t *testing.T) {
+	tier := newTier(t)
+	tier.Put("GET\x00/a\x00fr", []byte("x"), "", time.Minute)
+	tier.Put("GET\x00/a\x00en", []byte("x"), "", time.Minute)
+	tier.Put("GET\x00/ab\x00", []byte("x"), "", time.Minute)
+	sub := NewPageSubscriber(tier, nil)
+	sub.KeyPrefix = func(uri string) string { return "GET\x00" + uri + "\x00" }
+
+	sub.Apply(Event{Seq: 1, Kind: KindPurge, URI: "/a"})
+	if tier.Len() != 1 {
+		t.Fatalf("purge left %d entries, want 1 (/ab must survive)", tier.Len())
+	}
+	if _, _, ok := tier.Get("GET\x00/ab\x00"); !ok {
+		t.Fatal("purge of /a dropped /ab")
+	}
+	if sub.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", sub.Dropped())
+	}
+}
+
+// Flush events respect scope: a "static" flush must not touch a page
+// tier, a "" flush empties everything.
+func TestTierSubscriberFlushScope(t *testing.T) {
+	tier := newTier(t)
+	tier.Put("p", []byte("x"), "", time.Minute)
+	sub := NewPageSubscriber(tier, nil)
+	sub.Apply(Event{Seq: 1, Kind: KindFlush, Scope: "static"})
+	if tier.Len() != 1 {
+		t.Fatal("static-scoped flush emptied the page tier")
+	}
+	sub.Apply(Event{Seq: 2, Kind: KindFlush, Scope: "page"})
+	if tier.Len() != 0 {
+		t.Fatal("page-scoped flush did not empty the page tier")
+	}
+}
+
+// The static subscriber treats fragment events with an authoritative
+// empty dependent set as no-ops — static entries are never assembled
+// from fragments, and flushing the static tier per invalidation would
+// defeat it entirely.
+func TestStaticSubscriberFragmentNoop(t *testing.T) {
+	tier := newTier(t)
+	ix := depindex.New(depindex.Config{Horizon: time.Minute})
+	tier.Put("/asset.css\x00", []byte("body"), "", time.Minute)
+	sub := NewStaticSubscriber(tier, ix)
+	sub.Apply(Event{Seq: 1, Kind: KindFragment, Key: 3, Gen: 7})
+	if tier.Len() != 1 || sub.Flushes() != 0 {
+		t.Fatalf("fragment event disturbed the static tier: len=%d flushes=%d", tier.Len(), sub.Flushes())
+	}
+}
+
+// Fanout must deliver to every member and ack the minimum, so the hub's
+// gap semantics hold for the slowest tier behind one endpoint.
+func TestFanoutAcksMinimum(t *testing.T) {
+	fast := NewStoreSubscriber(newStore(t, 4))
+	slow := &lossySubscriber{inner: NewStoreSubscriber(newStore(t, 4)), drop: map[uint64]bool{2: true}}
+	f := Fanout(fast, slow)
+	if got := f.Apply(Event{Seq: 1, Kind: KindFragment, Key: 0}); got != 1 {
+		t.Fatalf("ack = %d, want 1", got)
+	}
+	if got := f.Apply(Event{Seq: 2, Kind: KindFragment, Key: 1}); got != 1 {
+		t.Fatalf("ack = %d after a lossy member, want 1 (min)", got)
+	}
+}
+
+// A store subscriber must advance its cursor over keyed-tier events
+// (purge) without treating them as gaps or dropping slots.
+func TestStoreSubscriberSkipsKeyedEvents(t *testing.T) {
+	store := newStore(t, 4)
+	_ = store.Set(2, 1, []byte("frag"))
+	sub := NewStoreSubscriber(store)
+	sub.Apply(Event{Seq: 1, Kind: KindPurge, URI: "/x"})
+	if store.Resident() != 1 {
+		t.Fatal("purge event touched the fragment store")
+	}
+	sub.Apply(Event{Seq: 2, Kind: KindFragment, Key: 2, Gen: 1})
+	if store.Resident() != 0 {
+		t.Fatal("in-order fragment event after purge not applied")
+	}
+	if sub.Flushes() != 0 {
+		t.Fatal("purge event mistaken for a gap")
+	}
+	sub.Apply(Event{Seq: 3, Kind: KindFlush, Scope: "page"})
+	if sub.Flushes() != 0 {
+		t.Fatal("page-scoped flush applied to the fragment store")
+	}
+	sub.Apply(Event{Seq: 4, Kind: KindFlush})
+	if sub.Flushes() != 1 {
+		t.Fatal("unscoped flush did not drop the store")
+	}
+}
+
+// The HTTP bridge must carry the generalized payloads: a purge event
+// posted to an edge endpoint drops the keyed variants there.
+func TestHTTPBridgeCarriesPurge(t *testing.T) {
+	tier, err := pagecache.NewCache(pagecache.CacheConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier.Put("GET\x00/p\x00", []byte("x"), "", time.Minute)
+	sub := NewPageSubscriber(tier, nil)
+	sub.KeyPrefix = func(uri string) string { return "GET\x00" + uri + "\x00" }
+	edge := httptest.NewServer(Handler(sub))
+	defer edge.Close()
+
+	mon, _ := bem.New(bem.Config{Capacity: 4})
+	hub := NewHub(mon)
+	hub.Subscribe(&RemoteSubscriber{URL: edge.URL})
+	hub.BroadcastPurge("/p")
+	if tier.Len() != 0 {
+		t.Fatal("purge did not cross the HTTP bridge")
+	}
+	if hub.AckedThrough() != 1 {
+		t.Fatalf("AckedThrough = %d", hub.AckedThrough())
+	}
+}
+
+// Fragment events arriving from the BEM carry their invalidation reason.
+func TestHubEventCarriesReason(t *testing.T) {
+	mon, _ := bem.New(bem.Config{Capacity: 4})
+	hub := NewHub(mon)
+	if _, err := mon.Lookup("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	mon.Invalidate("f")
+	evs, ok := hub.Events(0)
+	if !ok || len(evs) != 1 {
+		t.Fatalf("events = %v, %v", evs, ok)
+	}
+	if evs[0].Kind != KindFragment || evs[0].Reason != string(bem.ReasonExplicit) {
+		t.Fatalf("event = %+v, want explicit fragment invalidation", evs[0])
+	}
+	if !strings.Contains(evs[0].FragmentID, "f") {
+		t.Fatalf("fragment id = %q", evs[0].FragmentID)
+	}
+}

@@ -14,12 +14,32 @@ import (
 // them to its store subscriber. Lost deliveries surface as sequence gaps,
 // which the StoreSubscriber already handles by flushing.
 
-// wireEvent is the JSON encoding of an Event.
+// wireEvent is the JSON encoding of an Event. Kind zero (fragment) and
+// empty payload fields are omitted, so pre-generalization peers remain
+// wire-compatible for the fragment stream.
 type wireEvent struct {
-	Seq  uint64 `json:"seq"`
-	Frag string `json:"frag"`
-	Key  uint32 `json:"key"`
-	Gen  uint32 `json:"gen"`
+	Seq   uint64 `json:"seq"`
+	Kind  uint8  `json:"kind,omitempty"`
+	Frag  string `json:"frag,omitempty"`
+	Key   uint32 `json:"key"`
+	Gen   uint32 `json:"gen"`
+	Why   string `json:"why,omitempty"`
+	URI   string `json:"uri,omitempty"`
+	Scope string `json:"scope,omitempty"`
+}
+
+func toWire(ev Event) wireEvent {
+	return wireEvent{
+		Seq: ev.Seq, Kind: uint8(ev.Kind), Frag: ev.FragmentID,
+		Key: ev.Key, Gen: ev.Gen, Why: ev.Reason, URI: ev.URI, Scope: ev.Scope,
+	}
+}
+
+func fromWire(we wireEvent) Event {
+	return Event{
+		Seq: we.Seq, Kind: Kind(we.Kind), FragmentID: we.Frag,
+		Key: we.Key, Gen: we.Gen, Reason: we.Why, URI: we.URI, Scope: we.Scope,
+	}
 }
 
 // Handler returns the edge-side HTTP endpoint applying events to sub.
@@ -35,7 +55,7 @@ func Handler(sub Subscriber) http.Handler {
 			http.Error(w, fmt.Sprintf("bad event: %v", err), http.StatusBadRequest)
 			return
 		}
-		acked := sub.Apply(Event{Seq: we.Seq, FragmentID: we.Frag, Key: we.Key, Gen: we.Gen})
+		acked := sub.Apply(fromWire(we))
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]uint64{"acked": acked})
 	})
@@ -62,7 +82,7 @@ func (r *RemoteSubscriber) Apply(ev Event) uint64 {
 	if client == nil {
 		client = &http.Client{Timeout: 2 * time.Second}
 	}
-	body, err := json.Marshal(wireEvent{Seq: ev.Seq, Frag: ev.FragmentID, Key: ev.Key, Gen: ev.Gen})
+	body, err := json.Marshal(toWire(ev))
 	if err != nil {
 		return r.ackedValue()
 	}

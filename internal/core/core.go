@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"dpcache/internal/bem"
+	"dpcache/internal/coherency"
 	"dpcache/internal/dpc"
 	"dpcache/internal/firewall"
 	"dpcache/internal/fragstore"
@@ -122,6 +123,19 @@ type Config struct {
 	// PageCacheBudget bounds each proxy's resident page bytes (0 =
 	// unbounded).
 	PageCacheBudget int64
+	// DepIndexBudget bounds each proxy's dependency index — the
+	// fragment→page edge set the fabric consults for surgical page
+	// invalidation (0 selects the dpc default, 1 MiB).
+	DepIndexBudget int64
+	// Fabric wires the coherency invalidation fabric (ModeCached only):
+	// a hub is attached to the BEM's invalidation stream and every cache
+	// tier of every proxy — fragment store, whole-page tier, static
+	// tier — subscribes. Fragment invalidations then drop dependent
+	// page-tier entries the moment they happen (via each proxy's
+	// dependency index) instead of waiting out PageCacheTTL, which is
+	// what makes realistic page TTLs safe. Edges started with StartEdge
+	// subscribe automatically too.
+	Fabric bool
 	// StreamSpoolBytes bounds the strict-mode look-ahead spool used by
 	// streaming assembly (0 selects the dpc default, 64 KiB).
 	StreamSpoolBytes int
@@ -155,6 +169,9 @@ type System struct {
 	Proxy *dpc.Proxy
 	// Meter measures the origin↔proxy link.
 	Meter *netsim.Meter
+	// Hub is the coherency invalidation fabric (nil unless Config.Fabric
+	// and ModeCached). Every proxy's tiers are subscribed to it.
+	Hub *coherency.Hub
 	// Registry aggregates metrics across components.
 	Registry *metrics.Registry
 
@@ -184,8 +201,44 @@ func (c Config) proxyConfig(originURL string, store fragstore.FragmentStore, reg
 		PageCacheTTL:        c.PageCacheTTL,
 		PageCacheEntries:    c.PageCacheEntries,
 		PageCacheBudget:     c.PageCacheBudget,
+		DepIndexBudget:      c.DepIndexBudget,
 		PublishInterval:     c.PublishInterval,
 		Registry:            reg,
+	}
+}
+
+// ProxySubscribers returns one coherency subscriber per cache tier of a
+// proxy: the fragment store (slot drops), the whole-page tier, and the
+// static tier. The keyed-tier subscribers carry the dpc key schema
+// (purge prefixes) and the proxy's dependency index, so fragment
+// invalidations drop only the pages composed from the dead fragment;
+// surgical drops are reported on reg's dpc.pagecache_invalidations
+// counter (reg may be nil). It is the single wiring point shared by
+// System.subscribeTiers, dpcd's /_dpc/invalidate endpoint, and the
+// facade.
+func ProxySubscribers(p *dpc.Proxy, reg *metrics.Registry) []coherency.Subscriber {
+	subs := []coherency.Subscriber{coherency.NewStoreSubscriber(p.Store())}
+	if pages := p.Pages(); pages != nil {
+		sub := coherency.NewPageSubscriber(pages, p.DepIndex())
+		sub.KeyPrefix = dpc.PageKeyPrefix
+		if reg != nil {
+			dropped := reg.Counter("dpc.pagecache_invalidations")
+			sub.OnDrop = func(n int) { dropped.Add(int64(n)) }
+		}
+		subs = append(subs, sub)
+	}
+	if static := p.Static(); static != nil {
+		sub := coherency.NewStaticSubscriber(static.Cache, p.DepIndex())
+		sub.KeyPrefix = dpc.StaticKeyPrefix
+		subs = append(subs, sub)
+	}
+	return subs
+}
+
+// subscribeTiers attaches every cache tier of one proxy to the hub.
+func (s *System) subscribeTiers(p *dpc.Proxy) {
+	for _, sub := range ProxySubscribers(p, s.Registry) {
+		s.Hub.Subscribe(sub)
 	}
 }
 
@@ -294,6 +347,10 @@ func (s *System) Start() error {
 		return err
 	}
 	s.Proxy = proxy
+	if s.cfg.Fabric && s.Monitor != nil {
+		s.Hub = coherency.NewHub(s.Monitor)
+		s.subscribeTiers(proxy)
+	}
 	proxyLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		_ = proxy.Close()
@@ -339,6 +396,9 @@ func (s *System) StartEdge(name string) (Edge, error) {
 	proxy, err := dpc.New(s.cfg.proxyConfig(s.OriginURL(), store, s.Registry))
 	if err != nil {
 		return Edge{}, err
+	}
+	if s.Hub != nil {
+		s.subscribeTiers(proxy)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -41,6 +41,11 @@ type AssembleStats struct {
 	// already believes them cached, wedging the fragments into a
 	// permanent fallback loop.)
 	Stale []StaleRef
+	// Refs lists the unique fragment references (SETs and satisfied
+	// GETs) whose content flowed into the page — the dependency edges
+	// the page-tier invalidation fabric records, so a later
+	// invalidation of any of them can drop the cached page.
+	Refs []StaleRef
 }
 
 // Assembler splices fragments into page layouts. It is stateless apart
@@ -80,6 +85,17 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // lets a streaming caller with an uncommitted spool abort cleanly.
 func (a *Assembler) Assemble(w io.Writer, r io.Reader) (AssembleStats, error) {
 	var st AssembleStats
+	var seen map[uint64]struct{} // lazily allocated ref dedup
+	addRef := func(key, gen uint32) {
+		id := uint64(key)<<32 | uint64(gen)
+		if seen == nil {
+			seen = make(map[uint64]struct{}, 8)
+		} else if _, dup := seen[id]; dup {
+			return
+		}
+		seen[id] = struct{}{}
+		st.Refs = append(st.Refs, StaleRef{Key: key, Gen: gen})
+	}
 	cr := &countingReader{r: r}
 	dec := a.codec.NewDecoder(cr)
 	for {
@@ -114,6 +130,7 @@ func (a *Assembler) Assemble(w io.Writer, r io.Reader) (AssembleStats, error) {
 			if err := a.store.Set(in.Key, in.Gen, in.Data); err != nil {
 				return st, err
 			}
+			addRef(in.Key, in.Gen)
 			if doomed {
 				continue
 			}
@@ -129,6 +146,7 @@ func (a *Assembler) Assemble(w io.Writer, r io.Reader) (AssembleStats, error) {
 				st.Stale = append(st.Stale, StaleRef{Key: in.Key, Gen: in.Gen})
 				continue
 			}
+			addRef(in.Key, in.Gen)
 			if doomed {
 				continue
 			}

@@ -73,7 +73,11 @@ type flightChunk struct {
 // attach to.
 type flight struct {
 	key string
-	max int
+	// method is the leader's request method. HEAD followers may ride a
+	// GET flight (they need only its committed headers); a GET must
+	// never ride a HEAD flight, whose response has no body.
+	method string
+	max    int
 
 	mu        sync.Mutex
 	cond      sync.Cond
@@ -87,8 +91,8 @@ type flight struct {
 	followers map[*follower]struct{}
 }
 
-func newFlight(key string, max int) *flight {
-	f := &flight{key: key, max: max, clen: -1, followers: make(map[*follower]struct{})}
+func newFlight(key, method string, max int) *flight {
+	f := &flight{key: key, method: method, max: max, clen: -1, followers: make(map[*follower]struct{})}
 	f.cond.L = &f.mu
 	return f
 }
@@ -206,6 +210,28 @@ func (f *flight) next(fol *follower, scratch []byte, cancelled func() bool) flig
 	return c
 }
 
+// awaitClose blocks until the flight reaches a terminal state (or
+// cancelled reports true), consuming — without copying — any bytes past
+// the follower's cursor so a headers-only reader never pins the sealed
+// buffer's trim window. HEAD followers riding a GET flight use it: they
+// need the committed headers and the final byte count, not the body.
+func (f *flight) awaitClose(fol *follower, cancelled func() bool) flightChunk {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.state == flightOpen && !cancelled() {
+		if fol.pos < f.total {
+			fol.pos = f.total
+			f.trimLocked()
+		}
+		f.cond.Wait()
+	}
+	if fol.pos < f.total {
+		fol.pos = f.total
+		f.trimLocked()
+	}
+	return flightChunk{state: f.state, total: f.total, ctype: f.ctype, clen: f.clen}
+}
+
 // trimLocked drops the buffer prefix every live cursor has passed. Only
 // sealed flights trim: an open, unsealed flight must keep byte zero for
 // followers yet to attach.
@@ -251,14 +277,20 @@ func newFlightGroup(maxBytes int) *flightGroup {
 // join returns the flight for key. leader is true for the caller that must
 // perform the fetch and eventually call finish. Followers receive their
 // attached cursor; a nil cursor with leader false means the flight is
-// sealed and the caller must fetch independently.
-func (g *flightGroup) join(key string) (f *flight, leader bool, fol *follower) {
+// sealed and the caller must fetch independently. A nil *flight* with
+// leader false is a method mismatch: the key is GET-normalized so HEAD
+// can ride a GET broadcast, but a GET arriving while a HEAD leads the key
+// cannot be served a body and must fetch for itself.
+func (g *flightGroup) join(key, method string) (f *flight, leader bool, fol *follower) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if f, ok := g.m[key]; ok {
+		if method != f.method && method != http.MethodHead {
+			return nil, false, nil
+		}
 		return f, false, f.attach()
 	}
-	f = newFlight(key, g.max)
+	f = newFlight(key, method, g.max)
 	g.m[key] = f
 	return f, true, nil
 }
@@ -331,8 +363,12 @@ func coalesceIdentityFrom(forwarded []string) []string {
 // the identity headers above. Two requests sharing a key would receive
 // byte-identical origin responses, so one fetch may serve all of them.
 func coalesceKey(r *http.Request) string {
+	return coalesceKeyAs(r, r.Method)
+}
+
+func coalesceKeyAs(r *http.Request, method string) string {
 	var b strings.Builder
-	b.WriteString(r.Method)
+	b.WriteString(method)
 	b.WriteByte(0)
 	b.WriteString(r.URL.RequestURI())
 	for _, h := range coalesceIdentityHeaders {
@@ -340,4 +376,17 @@ func coalesceKey(r *http.Request) string {
 		b.WriteString(r.Header.Get(h))
 	}
 	return b.String()
+}
+
+// flightKey maps a request onto the flight group: the coalesce key with
+// HEAD normalized to GET, so a HEAD and a GET for the same resource
+// share one flight — a GET fetch answers both, the HEAD follower served
+// from the broadcast's committed headers alone. The flight records its
+// leader's real method; join refuses the one unservable pairing (a GET
+// arriving on a HEAD-led flight).
+func flightKey(r *http.Request) string {
+	if r.Method == http.MethodHead {
+		return coalesceKeyAs(r, http.MethodGet)
+	}
+	return coalesceKey(r)
 }

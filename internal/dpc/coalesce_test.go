@@ -526,13 +526,13 @@ func TestAbortedFlightPrefixNotServedToUncommittedFollower(t *testing.T) {
 	}
 	defer p.Close()
 
-	f, leader, _ := p.flights.join("k")
+	f, leader, _ := p.flights.join("k", http.MethodGet)
 	if !leader {
 		t.Fatal("first join must lead")
 	}
 	f.publishHeaders("text/html", -1)
 	f.append([]byte("torn prefix"))
-	_, l2, fol := p.flights.join("k")
+	_, l2, fol := p.flights.join("k", http.MethodGet)
 	if l2 || fol == nil {
 		t.Fatal("second join must attach as a follower")
 	}
@@ -557,7 +557,7 @@ func TestAbortedFlightPrefixNotServedToUncommittedFollower(t *testing.T) {
 // whole page.
 func TestStalledFollowerIsShedAndBufferStaysBounded(t *testing.T) {
 	const max = 1024
-	f := newFlight("k", max)
+	f := newFlight("k", http.MethodGet, max)
 	fol := f.attach()
 	if fol == nil {
 		t.Fatal("attach failed on a fresh flight")
@@ -717,5 +717,153 @@ func benchFollowerTTFB(b *testing.B, stream bool, pageKB int) {
 	b.StopTimer()
 	if b.N > 0 {
 		b.ReportMetric(float64(totalTTFB.Nanoseconds())/float64(b.N), "ttfb-ns/op")
+	}
+}
+
+// A HEAD request arriving while a GET fetch of the same resource is in
+// flight must ride the GET broadcast: one origin fetch serves both, and
+// the HEAD follower replicates the flight's committed headers with the
+// exact final length and no body.
+func TestHeadFollowerSharesGetFlight(t *testing.T) {
+	const wantBody = "<html>shared page</html>"
+	var fetches atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fetches.Add(1)
+		close(entered)
+		<-release
+		fmt.Fprint(w, wantBody)
+	}))
+	defer origin.Close()
+	p := newTestProxy(t, origin.URL, func(c *Config) {
+		c.Coalesce = true
+		c.Stream = true
+	})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/page/shared")
+		if err == nil {
+			_, err = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		leaderDone <- err
+	}()
+	<-entered
+
+	// The HEAD must attach to the GET-normalized flight key.
+	keyReq := httptest.NewRequest(http.MethodHead, "/page/shared", nil)
+	keyReq.Header.Set("User-Agent", "Go-http-client/1.1")
+	key := flightKey(keyReq)
+	headDone := make(chan *http.Response, 1)
+	headErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Head(ts.URL + "/page/shared")
+		if err != nil {
+			headErr <- err
+			return
+		}
+		resp.Body.Close()
+		headDone <- resp
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.flights.waiting(key) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("HEAD never attached to the GET flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-headErr:
+		t.Fatal(err)
+	case resp := <-headDone:
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HEAD status = %d", resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "COALESCED" {
+			t.Fatalf("HEAD X-Cache = %q, want COALESCED", got)
+		}
+		if got := resp.ContentLength; got != int64(len(wantBody)) {
+			t.Fatalf("HEAD Content-Length = %d, want %d", got, len(wantBody))
+		}
+	}
+	if got := fetches.Load(); got != 1 {
+		t.Fatalf("origin saw %d fetches, want 1 (HEAD shared the GET flight)", got)
+	}
+	if got := p.Registry().Counter("dpc.coalesce_head_shared").Value(); got != 1 {
+		t.Fatalf("dpc.coalesce_head_shared = %d, want 1", got)
+	}
+}
+
+// The one unservable pairing: a GET arriving while a HEAD leads the key
+// must fetch for itself (a HEAD response has no body to broadcast), and
+// the HEAD flight must be left undisturbed.
+func TestGetDoesNotRideHeadFlight(t *testing.T) {
+	var fetches atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := fetches.Add(1)
+		if n == 1 {
+			close(entered)
+			<-release
+		}
+		fmt.Fprint(w, "<html>page</html>")
+	}))
+	defer origin.Close()
+	p := newTestProxy(t, origin.URL, func(c *Config) {
+		c.Coalesce = true
+		c.Stream = true
+	})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	headDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Head(ts.URL + "/page/h")
+		if err == nil {
+			resp.Body.Close()
+		}
+		headDone <- err
+	}()
+	<-entered // a HEAD leads the flight and is parked inside the origin
+
+	// The concurrent GET must not join it: it fetches independently and
+	// completes even though the HEAD leader is still blocked.
+	getDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/page/h")
+		if err == nil {
+			var b []byte
+			b, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && string(b) != "<html>page</html>" {
+				err = fmt.Errorf("GET body = %q", b)
+			}
+		}
+		getDone <- err
+	}()
+	select {
+	case err := <-getDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("GET blocked behind the HEAD flight")
+	}
+	close(release)
+	if err := <-headDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := fetches.Load(); got != 2 {
+		t.Fatalf("origin saw %d fetches, want 2 (GET fetched independently)", got)
 	}
 }

@@ -49,6 +49,7 @@ func MetricCatalog() []MetricDoc {
 		{"dpc.coalesced", "counter", "a follower was served its leader's broadcast page"},
 		{"dpc.coalesce_fallbacks", "counter", "a leader aborted before a follower committed; the follower re-fetched"},
 		{"dpc.coalesce_overflows", "counter", "a flight sealed past its buffer cap (late joiner or lagging follower re-fetched)"},
+		{"dpc.coalesce_head_shared", "counter", "a HEAD request was served from a GET leader's committed flight headers"},
 		// Static cache tier.
 		{"dpc.static_hits", "counter", "a request was served from the URL-keyed static cache"},
 		{"dpc.static_uncacheable_vary", "counter", "a cacheable response was refused because it varies on a non-allowlisted header"},
@@ -58,6 +59,16 @@ func MetricCatalog() []MetricDoc {
 		{"dpc.pagecache_fills", "counter", "a completed anonymous response was filed into the page tier"},
 		{"dpc.pagecache_bypass_identity", "counter", "a request carried identity (Cookie, Authorization, X-User) and bypassed the page tier"},
 		{"dpc.pagecache_uncacheable", "counter", "a captured response was not cacheable (non-200, over the capture bound, no-store/private, or Set-Cookie)"},
+		{"dpc.pagecache_304s", "counter", "a page-tier hit with a matching If-None-Match was answered 304 with no body"},
+		{"dpc.pagecache_invalidations", "counter", "a page-tier entry was dropped by the invalidation fabric (subscriber drop or in-flight fill unfiled)"},
+		// Dependency index (fragment → page-key edges; refreshed like
+		// dpc.store.* by the background publisher and /_dpc/stats).
+		{"dpc.depindex_fragments", "gauge", "fragments with recorded dependency edges"},
+		{"dpc.depindex_edges", "gauge", "fragment→page dependency edges currently retained"},
+		{"dpc.depindex_bytes", "gauge", "bytes the dependency index retains (budget-bounded)"},
+		{"dpc.depindex_evictions", "gauge", "fragments whose edges were evicted under byte pressure since creation"},
+		{"dpc.depindex_lookups", "gauge", "invalidation lookups against the index since creation"},
+		{"dpc.depindex_inexact", "gauge", "lookups answered conservatively (forcing a tier-flush fallback) since creation"},
 		// Fragment store occupancy (refreshed by the background publisher
 		// and on each /_dpc/stats request).
 		{"dpc.store.capacity", "gauge", "the store's key-space size"},

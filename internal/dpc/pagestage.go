@@ -2,9 +2,13 @@ package dpc
 
 import (
 	"bytes"
+	"fmt"
+	"hash/fnv"
 	"net/http"
 	"strings"
 	"time"
+
+	"dpcache/internal/depindex"
 )
 
 // The pagecache stage is the whole-page cache tier: a cache of complete
@@ -15,24 +19,39 @@ import (
 // but that argument rests on identity the cache cannot see. A request
 // carrying no identity (no Cookie, Authorization, or X-User) gives the
 // origin nothing to personalize on, so for that slice of traffic the URL
-// *does* identify the content and a short-TTL whole-page tier is sound:
-// an anonymous burst on a hot page is served N−1 times from memory with
-// one origin fetch. Identity-bearing requests bypass the stage
+// *does* identify the content and a whole-page tier is sound: an
+// anonymous burst on a hot page is served N−1 times from memory with one
+// origin fetch. Identity-bearing requests bypass the stage
 // (dpc.pagecache_bypass_identity) and take the fragment-assembly path.
 //
-// Staleness is bounded by PageCacheTTL alone — a page cache cannot see
-// fragment invalidations, which is exactly why the tier refuses to hold
-// pages longer than a micro-caching window unless told to.
+// Freshness has two signals. The TTL (PageCacheTTL) is the baseline
+// bound, and for pages containing *non-cacheable* fragments — content
+// the BEM never tracks, regenerated per request — it is the only one, so
+// micro-caching windows remain right for such pages. For the cacheable
+// fragments, the invalidation fabric closes the gap: assembly records
+// fragment→pageKey edges in the proxy's dependency index
+// (internal/depindex), and a coherency PageSubscriber wired to the BEM
+// drops the exact pages composed from an invalidated fragment the moment
+// it dies. With the fabric attached, fragment-backed staleness no longer
+// waits for the TTL, which makes realistic (multi-second) TTLs safe.
+//
+// Entries are stamped with a strong ETag at capture time; an anonymous
+// revalidation carrying a matching If-None-Match is answered 304 with no
+// body (dpc.pagecache_304s), so pages that survive invalidation cost a
+// handshake instead of a transfer.
 
 // defaultPageTTL is the page-cache freshness window when
 // Config.PageCacheTTL is zero: a micro-caching TTL, long enough to absorb
-// a burst, short enough that fragment-level invalidation lag stays
-// invisible at human timescales.
+// a burst, short enough that staleness of per-request (non-cacheable)
+// fragment content stays invisible at human timescales.
 const defaultPageTTL = 2 * time.Second
 
 // maxPageCaptureBytes bounds the response bytes teed aside to fill the
 // page cache; larger pages are served normally but not captured
-// (dpc.pagecache_uncacheable).
+// (dpc.pagecache_uncacheable). In-flight capture bytes are charged
+// against the page tier's byte ledger, so a storm of concurrent misses
+// evicts resident pages instead of holding budget-busting bytes off the
+// books.
 const maxPageCaptureBytes = 1 << 20
 
 // pageIdentityHeaders mark a request as belonging to an identified
@@ -61,6 +80,48 @@ func anonymousSession(r *http.Request) bool {
 // headers in the key are always empty here: identity-bearing requests
 // bypassed the stage already.
 func pageKey(r *http.Request) string { return coalesceKey(r) }
+
+// PageKeyPrefix returns the page-tier store-key prefix shared by every
+// variant of one request URI. The coherency fabric's purge events use it
+// to drop a URI surgically without knowing the full variant-header key.
+func PageKeyPrefix(uri string) string {
+	return http.MethodGet + "\x00" + uri + "\x00"
+}
+
+// StaticKeyPrefix is PageKeyPrefix's static-tier counterpart (the static
+// key is URI plus the folded Accept-Encoding variant).
+func StaticKeyPrefix(uri string) string { return uri + "\x00" }
+
+// pageETag computes the strong entity tag a page-tier entry is stamped
+// with at capture time: a content hash, so the tag changes exactly when
+// the body does and survives re-captures of identical bytes.
+func pageETag(body []byte, ctype string) string {
+	h := fnv.New128a()
+	_, _ = h.Write(body)
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(ctype))
+	return fmt.Sprintf("\"%x\"", h.Sum(nil))
+}
+
+// etagMatches reports whether an If-None-Match header value matches the
+// stored entity tag, per RFC 9110's weak comparison (a W/ prefix on the
+// client's copy is ignored — weak comparison is what If-None-Match
+// specifies) with support for "*" and comma-separated lists.
+func etagMatches(r *http.Request, etag string) bool {
+	for _, line := range r.Header.Values("If-None-Match") {
+		for _, tok := range strings.Split(line, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "*" {
+				return true
+			}
+			tok = strings.TrimPrefix(tok, "W/")
+			if tok != "" && tok == etag {
+				return true
+			}
+		}
+	}
+	return false
+}
 
 // pageCacheable inspects an *origin* response's headers (the proxy does
 // not relay them to clients, so the capture cannot be consulted) and
@@ -105,17 +166,38 @@ func (p *Proxy) stagePageCache(rs *reqState) (stageOutcome, error) {
 		return stageNext, nil
 	}
 	key := pageKey(rs.r)
-	if body, ctype, ok := p.pages.Get(key); ok {
+	if body, ctype, etag, ok := p.pages.GetTagged(key); ok {
 		p.reg.Counter("dpc.pagecache_hits").Inc()
+		if etag != "" && etagMatches(rs.r, etag) {
+			// Conditional hit: the client already holds these bytes. A
+			// 304 carries the tag back and nothing else — zero body
+			// bytes for a revalidation of a surviving page.
+			p.reg.Counter("dpc.pagecache_304s").Inc()
+			h := rs.w.Header()
+			h.Set("ETag", etag)
+			h.Set("Via", "dpcache-dpc/1.0")
+			h.Set("X-Cache", "PAGE")
+			rs.w.WriteHeader(http.StatusNotModified)
+			rs.streamed = true // headers committed; respond must not write a body
+			rs.cacheState = "PAGE"
+			return stageRespond, nil
+		}
 		rs.body, rs.ctype, rs.cacheState = body, ctype, "PAGE"
+		rs.pageETag = etag
 		return stageRespond, nil
 	}
 	p.reg.Counter("dpc.pagecache_misses").Inc()
 	// Tee everything the rest of the pipeline writes to this client —
 	// buffered page, streamed assembly, coalesced broadcast — into a
-	// bounded side buffer; stageRespond files it under this key.
+	// bounded side buffer; stageRespond files it under this key. The
+	// epoch snapshot dates the capture: if the fabric flushes the tier
+	// while this response is in flight, the fill is discarded (the flush
+	// could not have removed an entry not yet filed).
 	rs.pageKey = key
-	pc := &pageCapture{ResponseWriter: rs.w}
+	if p.depix != nil {
+		rs.depEpoch = p.depix.Epoch()
+	}
+	pc := &pageCapture{ResponseWriter: rs.w, reserve: p.pages.ReserveCapture}
 	rs.pageCapture = pc
 	rs.w = pc
 	return stageNext, nil
@@ -128,6 +210,7 @@ func (p *Proxy) fillPageCache(rs *reqState) {
 	if p.pages == nil || c == nil {
 		return
 	}
+	defer c.settle()
 	if rs.staticFilled {
 		// The body just entered the static tier, whose stage runs first
 		// and whose TTL the origin chose; a page-tier copy would be dead
@@ -151,7 +234,31 @@ func (p *Proxy) fillPageCache(rs *reqState) {
 		// the key with an empty body.
 		return
 	}
-	p.pages.Put(rs.pageKey, c.buf.Bytes(), c.Header().Get("Content-Type"), p.pageTTL)
+	body := c.buf.Bytes()
+	ctype := c.Header().Get("Content-Type")
+	// Settle the in-flight reservation before the Put reserves the stored
+	// copy: double-charging the same bytes would evict the very entry
+	// being filed on a tight budget.
+	c.settle()
+	if p.depix != nil {
+		// Record the dependency edges *before* the entry becomes
+		// servable, so an invalidation landing right after the Put finds
+		// the edge and deletes the entry.
+		for _, ref := range rs.depRefs {
+			p.depix.Record(ref, rs.pageKey)
+		}
+	}
+	p.pages.PutTagged(rs.pageKey, body, ctype, pageETag(body, ctype), p.pageTTL)
+	if p.depix != nil &&
+		(p.depix.AnyInvalid(rs.depRefs) || p.depix.Epoch() != rs.depEpoch) {
+		// Fill/invalidate race: one of this page's fragments died (or
+		// the tier was flushed) while the response was in flight. The
+		// subscriber's Delete may have run before our Put and missed it;
+		// its tombstone/epoch cannot have — unfile the stale page.
+		p.pages.Delete(rs.pageKey)
+		p.reg.Counter("dpc.pagecache_invalidations").Inc()
+		return
+	}
 	p.reg.Counter("dpc.pagecache_fills").Inc()
 }
 
@@ -159,13 +266,18 @@ func (p *Proxy) fillPageCache(rs *reqState) {
 // client. It deliberately wraps every downstream write path — writePage,
 // streamPlain, the streaming spool, a coalesced follower's replay — so
 // the page cache fills regardless of which pipeline branch produced the
-// page.
+// page. Buffered bytes are reserved against the page tier's byte ledger
+// while in flight (see maxPageCaptureBytes) and settled when the capture
+// is filed, discarded, or the request ends.
 type pageCapture struct {
 	http.ResponseWriter
 	status    int
 	buf       bytes.Buffer
 	overflow  bool
 	discarded bool // the fill is already known moot; stop buffering
+
+	reserve  func(delta int64) // page tier's ledger hook; nil skips accounting
+	reserved int64
 }
 
 // discard drops the retained bytes and stops buffering: called as soon as
@@ -175,6 +287,17 @@ type pageCapture struct {
 func (c *pageCapture) discard() {
 	c.buf = bytes.Buffer{}
 	c.discarded = true
+	c.settle()
+}
+
+// settle releases the capture's ledger reservation; idempotent, and
+// called on every terminal path (fill, discard, overflow, request
+// failure).
+func (c *pageCapture) settle() {
+	if c.reserved != 0 && c.reserve != nil {
+		c.reserve(-c.reserved)
+		c.reserved = 0
+	}
 }
 
 func (c *pageCapture) WriteHeader(code int) {
@@ -190,10 +313,16 @@ func (c *pageCapture) Write(b []byte) (int, error) {
 	}
 	if !c.overflow && !c.discarded {
 		if c.buf.Len()+len(b) <= maxPageCaptureBytes {
+			before := int64(c.buf.Cap())
 			c.buf.Write(b)
+			if delta := int64(c.buf.Cap()) - before; delta > 0 && c.reserve != nil {
+				c.reserved += delta
+				c.reserve(delta)
+			}
 		} else {
 			c.overflow = true
 			c.buf = bytes.Buffer{} // release what was retained
+			c.settle()
 		}
 	}
 	return c.ResponseWriter.Write(b)
@@ -205,4 +334,17 @@ func (c *pageCapture) Flush() {
 	if f, ok := c.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
+}
+
+// refIDs converts assembler fragment references into the dependency
+// index's ref strings.
+func refIDs(refs []StaleRef) []string {
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		out[i] = depindex.Ref(r.Key, r.Gen)
+	}
+	return out
 }

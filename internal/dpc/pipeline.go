@@ -87,6 +87,16 @@ type reqState struct {
 	// respond files it under pageKey.
 	pageKey     string
 	pageCapture *pageCapture
+	// pageETag is the stored entity tag of a page-tier hit; respond
+	// relays it so clients can revalidate conditionally next time.
+	pageETag string
+	// depRefs are the fragment references whose bytes flowed into this
+	// response (assembly only); fillPageCache records them as dependency
+	// edges and re-checks them against invalidation tombstones.
+	depRefs []string
+	// depEpoch snapshots the dependency index's flush generation when the
+	// capture began; a flush in between voids the fill.
+	depEpoch uint64
 	// pageUncacheable records that the origin's response headers forbade
 	// page caching (no-store/no-cache/private or Set-Cookie); the proxy
 	// strips origin headers before the client sees them, so this is
@@ -129,9 +139,14 @@ func (p *Proxy) stageCoalesce(rs *reqState) (stageOutcome, error) {
 	if p.flights == nil || !coalescable(rs.r) {
 		return stageNext, nil
 	}
-	f, leader, fol := p.flights.join(coalesceKey(rs.r))
+	f, leader, fol := p.flights.join(flightKey(rs.r), rs.r.Method)
 	if leader {
 		rs.flight = f
+		return stageNext, nil
+	}
+	if f == nil {
+		// Method mismatch: a GET cannot be served from a HEAD-led flight
+		// (the leader's response has no body). Fetch independently.
 		return stageNext, nil
 	}
 	if fol == nil {
@@ -140,12 +155,56 @@ func (p *Proxy) stageCoalesce(rs *reqState) (stageOutcome, error) {
 		p.reg.Counter("dpc.coalesce_overflows").Inc()
 		return stageNext, nil
 	}
+	if rs.r.Method == http.MethodHead && f.method == http.MethodGet {
+		// HEAD rides the GET broadcast: it needs only the flight's
+		// committed headers, never the body bytes.
+		return p.serveHeadFollower(rs, f, fol)
+	}
 	if rs.pageCapture != nil {
 		// The leader is filling this page key; buffering a duplicate
 		// through the follower's tee would be copied and dropped.
 		rs.pageCapture.discard()
 	}
 	return p.serveFollower(rs, f, fol)
+}
+
+// serveHeadFollower serves a HEAD request from a GET leader's broadcast:
+// one origin fetch satisfies both methods. It waits for the flight to
+// close cleanly — only then is the page length exact — and replicates the
+// committed headers with no body. An aborted flight falls back to the
+// follower's own fetch (nothing was committed).
+func (p *Proxy) serveHeadFollower(rs *reqState, f *flight, fol *follower) (stageOutcome, error) {
+	defer f.detach(fol)
+	ctx := rs.r.Context()
+	stop := context.AfterFunc(ctx, f.wake)
+	defer stop()
+	c := f.awaitClose(fol, func() bool { return ctx.Err() != nil })
+	if ctx.Err() != nil {
+		return stageDone, nil // client gone; nothing left to serve
+	}
+	if c.state != flightDone {
+		p.reg.Counter("dpc.coalesce_fallbacks").Inc()
+		return stageNext, nil
+	}
+	h := rs.w.Header()
+	ctype := c.ctype
+	if ctype == "" {
+		ctype = "text/html; charset=utf-8"
+	}
+	clen := c.total
+	if clen == 0 && c.clen > 0 {
+		clen = c.clen // bodyless leader response: its declared length
+	}
+	h.Set("Content-Type", ctype)
+	h.Set("Content-Length", strconv.FormatInt(clen, 10))
+	h.Set("Via", "dpcache-dpc/1.0")
+	h.Set("X-Cache", "COALESCED")
+	rs.w.WriteHeader(http.StatusOK)
+	rs.streamed = true // headers committed; respond must not write a body
+	rs.cacheState = "COALESCED"
+	p.reg.Counter("dpc.coalesced").Inc()
+	p.reg.Counter("dpc.coalesce_head_shared").Inc()
+	return stageRespond, nil
 }
 
 // serveFollower streams a flight to one parked request: replay the chunks
@@ -465,6 +524,9 @@ func (p *Proxy) stageAssemble(rs *reqState) (stageOutcome, error) {
 		}
 		p.reg.Counter("dpc.assembled").Inc()
 		rs.body = page.Bytes()
+		if rs.pageKey != "" {
+			rs.depRefs = refIDs(stats.Refs)
+		}
 		return stageRespond, nil
 	}
 
@@ -502,6 +564,9 @@ func (p *Proxy) stageAssemble(rs *reqState) (stageOutcome, error) {
 		return stageNext, err
 	}
 	rs.streamed = true
+	if rs.pageKey != "" {
+		rs.depRefs = refIDs(stats.Refs)
+	}
 	p.reg.Counter("dpc.assembled").Inc()
 	p.reg.Counter("dpc.streamed").Inc()
 	return stageRespond, nil
@@ -569,9 +634,20 @@ func (p *Proxy) stageStaleFallback(rs *reqState) (stageOutcome, error) {
 		}
 		p.reg.Counter("dpc.assembled").Inc()
 		rs.body = page.Bytes()
+		if rs.pageKey != "" {
+			rs.depRefs = refIDs(stats.Refs)
+		}
 		return stageRespond, nil
 	}
 	p.reg.Counter("dpc.plain_passthrough").Inc()
+	if rs.pageCapture != nil {
+		// A plain bypass page was generated by the origin straight from
+		// the repository: it is composed of fragments the proxy cannot
+		// see, so it carries no dependency edges and the invalidation
+		// fabric could never drop it — a filed copy would serve stale
+		// fragment bytes until the TTL. Serve it uncached.
+		rs.pageCapture.discard()
+	}
 	if p.cfg.Stream {
 		// The bypass page streams to the client through the same teeing
 		// path as a first-try passthrough — followers parked on this
@@ -595,6 +671,11 @@ func (p *Proxy) stageStaleFallback(rs *reqState) (stageOutcome, error) {
 func (p *Proxy) stageRespond(rs *reqState) (stageOutcome, error) {
 	p.finishFlight(rs, nil)
 	if !rs.streamed {
+		if rs.pageETag != "" {
+			// A page-tier hit replays its stored strong ETag so the
+			// client's next revisit can revalidate into a 304.
+			rs.w.Header().Set("ETag", rs.pageETag)
+		}
 		p.writePage(rs.w, rs.body, rs.ctype, rs.cacheState)
 	}
 	p.fillPageCache(rs)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dpcache/internal/clock"
+	"dpcache/internal/depindex"
 	"dpcache/internal/fragstore"
 	"dpcache/internal/metrics"
 	"dpcache/internal/pagecache"
@@ -104,6 +105,12 @@ type Config struct {
 	PageCacheBudget int64
 	// PageClock overrides the page cache's expiry clock (tests).
 	PageClock clock.Clock
+	// DepIndexBudget bounds the dependency index's retained edge bytes
+	// (0 selects 1 MiB). The index records which fragments flowed into
+	// which page-tier entries so the coherency fabric can invalidate
+	// them surgically; over budget it evicts edges and the fabric falls
+	// back to scoped flushes (see internal/depindex).
+	DepIndexBudget int64
 }
 
 // Proxy is the Dynamic Proxy Cache in reverse-proxy mode: it fronts the
@@ -115,6 +122,7 @@ type Proxy struct {
 	asm     *Assembler
 	static  *StaticCache     // nil when disabled
 	pages   *pagecache.Cache // nil when disabled
+	depix   *depindex.Index  // nil unless a keyed tier exists
 	pageTTL time.Duration
 	client  *http.Client
 	reg     *metrics.Registry
@@ -180,12 +188,25 @@ func New(cfg Config) (*Proxy, error) {
 			return nil, err
 		}
 	}
+	var depix *depindex.Index
+	if pages != nil || static != nil {
+		// The dependency index exists whenever a keyed tier does, so the
+		// coherency fabric's tier subscribers always have an
+		// authoritative (possibly empty) edge set to consult. Its
+		// horizon is the page TTL — the longest a described entry lives.
+		depix = depindex.New(depindex.Config{
+			ByteBudget: cfg.DepIndexBudget,
+			Horizon:    pageTTL,
+			Clock:      cfg.PageClock,
+		})
+	}
 	p := &Proxy{
 		cfg:     cfg,
 		store:   store,
 		asm:     NewAssembler(store, codec, cfg.Strict),
 		static:  static,
 		pages:   pages,
+		depix:   depix,
 		pageTTL: pageTTL,
 		client:  &http.Client{Transport: transport, Timeout: 30 * time.Second},
 		reg:     reg,
@@ -223,10 +244,26 @@ func (p *Proxy) publishLoop(interval time.Duration) {
 		select {
 		case <-t.C:
 			fragstore.Publish(p.reg, "dpc.store", p.store.Stats())
+			p.publishDepIndex()
 		case <-p.stopPub:
 			return
 		}
 	}
+}
+
+// publishDepIndex refreshes the dpc.depindex_* gauges from the dependency
+// index's stats snapshot (no-op when no keyed tier exists).
+func (p *Proxy) publishDepIndex() {
+	if p.depix == nil {
+		return
+	}
+	st := p.depix.Stats()
+	p.reg.Gauge("dpc.depindex_fragments").Set(int64(st.Fragments))
+	p.reg.Gauge("dpc.depindex_edges").Set(int64(st.Edges))
+	p.reg.Gauge("dpc.depindex_bytes").Set(st.Bytes)
+	p.reg.Gauge("dpc.depindex_evictions").Set(st.Evictions)
+	p.reg.Gauge("dpc.depindex_lookups").Set(st.Lookups)
+	p.reg.Gauge("dpc.depindex_inexact").Set(st.Inexact)
 }
 
 // Close stops the proxy's background work (the store-stats publisher). The
@@ -245,6 +282,11 @@ func (p *Proxy) Static() *StaticCache { return p.static }
 
 // Pages exposes the whole-page cache tier (nil unless Config.PageCache).
 func (p *Proxy) Pages() *pagecache.Cache { return p.pages }
+
+// DepIndex exposes the fragment→page dependency index (nil when no keyed
+// tier exists). The coherency fabric's tier subscribers consult it to
+// invalidate page-tier entries surgically.
+func (p *Proxy) DepIndex() *depindex.Index { return p.depix }
 
 // Store exposes the fragment store (the coherency extension drops slots
 // through it).
@@ -273,6 +315,7 @@ func (p *Proxy) initAdmin() {
 	p.admin.HandleFunc("/_dpc/stats", func(w http.ResponseWriter, _ *http.Request) {
 		st := p.store.Stats()
 		fragstore.Publish(p.reg, "dpc.store", st)
+		p.publishDepIndex() // before the snapshot below, so gauges are current
 		stages := make(map[string]any, len(p.stages))
 		for _, s := range p.stages {
 			stages[s.Name] = map[string]int64{
@@ -305,6 +348,9 @@ func (p *Proxy) initAdmin() {
 				"hits": ps.Hits, "misses": ps.Misses,
 				"evictions": ps.Evictions, "expired": ps.Expired,
 			}
+		}
+		if p.depix != nil {
+			out["depindex"] = p.depix.Stats()
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(out)
@@ -340,6 +386,9 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // aborted response; otherwise a 502 is returned.
 func (p *Proxy) fail(rs *reqState, err error) {
 	p.finishFlight(rs, err)
+	if rs.pageCapture != nil {
+		rs.pageCapture.settle() // release the capture's ledger reservation
+	}
 	p.reg.Counter("dpc.errors").Inc()
 	if rs.streamed {
 		panic(http.ErrAbortHandler)

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // cell parses a table cell as float.
@@ -185,7 +186,8 @@ func TestPipelineLive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 4 {
+	// 4 knob configs + 3 concurrency-sweep rows + 2 invalidation rows.
+	if len(tab.Rows) != 9 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
 	// Without coalescing every served response costs at least one origin
@@ -196,7 +198,7 @@ func TestPipelineLive(t *testing.T) {
 	if base < 0.999 {
 		t.Fatalf("no-coalesce origin fan-in = %v, want >= 1", base)
 	}
-	for i := 1; i < len(tab.Rows); i++ {
+	for i := 1; i < 7; i++ {
 		if v := cell(t, tab, i, 1); v > base+0.1 {
 			t.Fatalf("row %d: coalescing raised origin fan-in to %v (baseline %v)", i, v, base)
 		}
@@ -206,6 +208,23 @@ func TestPipelineLive(t *testing.T) {
 	// the origin at all.
 	if pc, co := cell(t, tab, 3, 1), cell(t, tab, 2, 1); pc >= co {
 		t.Fatalf("pagecache fan-in %v not below coalesce+stream fan-in %v", pc, co)
+	}
+	// The invalidation rows hold the PR's freshness claim: without the
+	// fabric the page tier serves the dead fragment until its TTL;
+	// with it, freshness returns within one request, not the TTL.
+	ttlWindow, err := time.ParseDuration(tab.Rows[7][5])
+	if err != nil {
+		t.Fatalf("ttl-only staleness window %q: %v", tab.Rows[7][5], err)
+	}
+	fabricWindow, err := time.ParseDuration(tab.Rows[8][5])
+	if err != nil {
+		t.Fatalf("fabric staleness window %q: %v", tab.Rows[8][5], err)
+	}
+	if ttlWindow < invalidationTTL/2 {
+		t.Fatalf("ttl-only staleness window %v implausibly short for a %v TTL", ttlWindow, invalidationTTL)
+	}
+	if fabricWindow >= invalidationTTL/2 {
+		t.Fatalf("fabric staleness window %v did not beat the TTL bound %v", fabricWindow, invalidationTTL)
 	}
 }
 

@@ -76,7 +76,10 @@ func runPoint(mode core.Mode, siteCfg site.SyntheticConfig, forcedMiss float64,
 	// known page through the proxy: everything beyond the page content
 	// on the origin link is headers (plus, in cached mode, tag bytes —
 	// so calibration always uses a bypassing direct-origin request).
-	pageBytes := int64(siteCfg.FragmentsPerPage * siteCfg.FragmentBytes)
+	var pageBytes int64 // page 0's exact content size (sizes may be heterogeneous)
+	for j := 0; j < siteCfg.FragmentsPerPage; j++ {
+		pageBytes += int64(siteCfg.FragmentSize(j))
+	}
 	before := sys.Meter.BytesOut()
 	if err := fetchOnce(sys.OriginURL() + "/page/synth?page=0"); err != nil {
 		return point{}, man, fmt.Errorf("calibration fetch: %w", err)

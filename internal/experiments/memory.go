@@ -23,10 +23,17 @@ import (
 // origin link, the B_NC cost), and the BEM re-learns the slot. Savings
 // therefore degrade smoothly from the Figure 5 h→1 operating point toward
 // the no-cache baseline as the budget shrinks.
+//
+// The site is Table 2's structure with *heterogeneous* fragment sizes (a
+// heavy-tailed 1×/1×/4×/16× cycle over the 1KB base): with uniform sizes
+// every eviction costs the same and GDSF degenerates to LRU-with-extra-
+// steps; with a size spread GDSF keeps many small hot fragments where
+// LRU holds few large ones, which is the regime the policy exists for.
 func Memory(opts Options) (Table, error) {
 	opts = opts.withDefaults()
 	siteCfg := site.DefaultSynthetic()
-	workingSet := int64(siteCfg.Pages * siteCfg.FragmentsPerPage * siteCfg.FragmentBytes)
+	siteCfg.FragmentSizeFactors = []int{1, 1, 4, 16}
+	workingSet := siteCfg.TotalFragmentBytes()
 
 	nc, _, err := runPoint(core.ModeNoCache, siteCfg, 0, opts, repository.LatencyModel{})
 	if err != nil {
@@ -89,6 +96,6 @@ func Memory(opts Options) (Table, error) {
 	t.Notes = append(t.Notes,
 		"budget is the sharded store's global byte ledger (SystemConfig.StoreByteBudget); eviction fires on global pressure only",
 		"an evicted slot costs a stale-bypass page fetch (full B_NC page) plus BEM re-learning, so savings fall toward the no-cache baseline as memory shrinks",
-		"GDSF favors small, hot fragments; with Table 2's uniform fragment sizes it tracks LRU — vary FragmentBytes for separation")
+		"fragment sizes follow a heavy-tailed 1x/1x/4x/16x cycle (site.FragmentSizeFactors): GDSF keeps many small hot fragments where LRU pins few large ones, so the policies separate at tight budgets")
 	return t, nil
 }

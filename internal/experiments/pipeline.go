@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,6 +22,13 @@ import (
 // requests lands on one page. With the completed-page handoff the follower
 // TTFB equals the leader's full page time; with live attach it tracks the
 // leader's first chunk.
+//
+// Two extensions ride along: a paper-style *concurrency sweep* (fan-in
+// and follower TTFB vs offered concurrency — coalescing's win grows with
+// load, since every extra concurrent client of a hot page is one more
+// collapsed fetch), and an *invalidation* pair measuring the page tier's
+// staleness window after a fragment dies — bounded by the TTL alone
+// without the coherency fabric, and by one request with it.
 func Pipeline(opts Options) (Table, error) {
 	opts = opts.withDefaults()
 	configs := []struct {
@@ -36,9 +44,9 @@ func Pipeline(opts Options) (Table, error) {
 	}
 	t := Table{
 		ID:    "pipeline",
-		Title: "Pipeline knobs under the Figure 5 workload: origin fan-in and follower TTFB",
+		Title: "Pipeline knobs under the Figure 5 workload: origin fan-in, follower TTFB, invalidation staleness",
 		Columns: []string{
-			"config", "origin req/resp", "coalesced %", "mean latency", "burst follower TTFB",
+			"config", "origin req/resp", "coalesced %", "mean latency", "burst follower TTFB", "staleness window",
 		},
 	}
 	for _, c := range configs {
@@ -50,13 +58,126 @@ func Pipeline(opts Options) (Table, error) {
 			c.name, f3(fanIn), f1(coalesced),
 			mean.Round(10 * time.Microsecond).String(),
 			ttfb.Round(10 * time.Microsecond).String(),
+			"-",
+		})
+	}
+	// Concurrency sweep: same knobs (coalesce+stream), rising offered
+	// concurrency. Fan-in per response falls as bursts deepen.
+	for _, conc := range []int{2, 8, 16} {
+		o := opts
+		o.Concurrency = conc
+		fanIn, coalesced, mean, ttfb, err := runPipelinePoint(o, true, true, false)
+		if err != nil {
+			return t, fmt.Errorf("pipeline sweep c=%d: %w", conc, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("coalesce+stream @c=%d", conc), f3(fanIn), f1(coalesced),
+			mean.Round(10 * time.Microsecond).String(),
+			ttfb.Round(10 * time.Microsecond).String(),
+			"-",
+		})
+	}
+	// Invalidation: how long a dead fragment's bytes keep being served
+	// from the page tier, with and without the invalidation fabric.
+	for _, inv := range []struct {
+		name   string
+		fabric bool
+	}{
+		{"invalidation (ttl only)", false},
+		{"invalidation (fabric)", true},
+	} {
+		window, err := runInvalidationPoint(opts, inv.fabric)
+		if err != nil {
+			return t, fmt.Errorf("pipeline %s: %w", inv.name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			inv.name, "-", "-", "-", "-",
+			window.Round(time.Millisecond).String(),
 		})
 	}
 	t.Notes = append(t.Notes,
 		"origin req/resp < 1 means coalescing collapsed concurrent identical fetches (origin fan-in stays 1 per flight)",
 		"burst follower TTFB: mean first-byte latency of followers that join while a leader's fetch of the same page is in flight",
-		"the pagecache row serves anonymous revisits whole from the page tier, so origin fan-in falls below the coalesce-only rows")
+		"the pagecache row serves anonymous revisits whole from the page tier, so origin fan-in falls below the coalesce-only rows",
+		"@c=N rows sweep offered concurrency with coalesce+stream: deeper bursts collapse more identical fetches per flight",
+		fmt.Sprintf("staleness window: elapsed time a %v-TTL page tier kept serving a dead fragment's bytes after a repository write; the fabric drops the page on the invalidation itself, so its window is one in-flight request, not the TTL", invalidationTTL))
 	return t, nil
+}
+
+// invalidationTTL is the deliberately long page-tier TTL the invalidation
+// rows use: long enough that a TTL-bounded tier visibly serves stale, yet
+// short enough that the no-fabric row terminates quickly.
+const invalidationTTL = 300 * time.Millisecond
+
+// runInvalidationPoint warms an anonymous page into the page tier,
+// invalidates one of its fragments through the repository's update bus
+// (the BEM's data-dependency path), and measures how long the front keeps
+// serving the dead fragment's bytes.
+func runInvalidationPoint(opts Options, fabric bool) (time.Duration, error) {
+	siteCfg := site.DefaultSynthetic()
+	sys, err := core.NewSystem(core.Config{
+		Capacity:         2 * siteCfg.Pages * siteCfg.FragmentsPerPage,
+		Strict:           true,
+		Seed:             opts.Seed,
+		ExtraHeaderBytes: opts.ExtraHeaderBytes,
+		Coalesce:         true,
+		Stream:           true,
+		PageCache:        true,
+		PageCacheTTL:     invalidationTTL,
+		Fabric:           fabric,
+	}, core.ModeCached)
+	if err != nil {
+		return 0, err
+	}
+	sc, _, err := site.BuildSynthetic(siteCfg, sys.Repo)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.Register(sc); err != nil {
+		return 0, err
+	}
+	if err := sys.Start(); err != nil {
+		return 0, err
+	}
+	defer sys.Close()
+
+	url := sys.FrontURL() + "/page/synth?page=0"
+	fetch := func() (string, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	}
+	// Warm until the page tier serves the entry (fill happens after the
+	// first response completes).
+	if _, err := fetch(); err != nil {
+		return 0, err
+	}
+	if _, err := fetch(); err != nil {
+		return 0, err
+	}
+
+	// Kill fragment 0 (cacheable, first fragment of page 0) via a
+	// repository write, then measure time-to-freshness at the front.
+	site.TouchFragment(sys.Repo, 0, "2")
+	start := time.Now()
+	deadline := start.Add(5 * time.Second)
+	for {
+		body, err := fetch()
+		if err != nil {
+			return 0, err
+		}
+		if strings.Contains(body, "<!--frag 0 v2-->") {
+			return time.Since(start), nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("front never served the fresh fragment within %v", 5*time.Second)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // runPipelinePoint stands up a cached system with the given pipeline knobs,

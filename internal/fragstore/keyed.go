@@ -321,6 +321,45 @@ func (sh *kshard) coldness() (float64, bool) {
 	return 0, false
 }
 
+// DeleteFunc removes every resident entry whose key satisfies pred,
+// returning how many were dropped. It takes each shard's lock once, so
+// pred must be fast and must not call back into the store. Cache tiers
+// use it for scoped drops the exact-key API cannot express — e.g. purging
+// every variant of one URI, whose keys share a prefix.
+func (s *KeyedStore) DeleteFunc(pred func(key string) bool) int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.entries {
+			if pred(k) {
+				sh.remove(e)
+				sh.drops.Add(1)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ReserveScratch charges n transient bytes (negative releases them)
+// against the store's global byte ledger without storing anything: the
+// page tier accounts its in-flight capture buffers here so a storm of
+// concurrent captures evicts resident entries to make room instead of
+// blowing past the budget. No-op on an unbounded store. Scratch bytes
+// are never evictable — the caller must release exactly what it
+// reserved once the capture is filed or discarded.
+func (s *KeyedStore) ReserveScratch(n int64) {
+	if s.led.budget <= 0 || n == 0 {
+		return
+	}
+	s.led.reserve(n)
+	if n > 0 && s.overLimits() {
+		s.evictGlobal()
+	}
+}
+
 // Delete removes the entry under key, reporting whether one was resident.
 func (s *KeyedStore) Delete(key string) bool {
 	sh := s.locate(key)

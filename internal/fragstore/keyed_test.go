@@ -180,3 +180,65 @@ func TestKeyedConfigValidation(t *testing.T) {
 		t.Fatal("adapter accepted zero capacity")
 	}
 }
+
+// DeleteFunc drops exactly the matching keys, releasing their bytes.
+func TestKeyedDeleteFunc(t *testing.T) {
+	s := newKeyed(t, fragstore.KeyedConfig{Shards: 4})
+	for i := 0; i < 10; i++ {
+		prefix := "a\x00"
+		if i%2 == 1 {
+			prefix = "b\x00"
+		}
+		s.Put(fmt.Sprintf("%svariant%d", prefix, i), fragstore.KeyedEntry{Value: []byte("body")}, 0)
+	}
+	n := s.DeleteFunc(func(key string) bool {
+		return len(key) > 2 && key[:2] == "a\x00"
+	})
+	if n != 5 {
+		t.Fatalf("DeleteFunc dropped %d, want 5", n)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("resident = %d after scoped drop, want 5", s.Len())
+	}
+	if got := s.Stats().Drops; got != 5 {
+		t.Fatalf("drops = %d, want 5", got)
+	}
+	if used, bytes := s.BudgetUsed(), s.Bytes(); used != bytes {
+		t.Fatalf("ledger (%d) disagrees with shard accounting (%d)", used, bytes)
+	}
+	if _, ok := s.Get("b\x00variant1"); !ok {
+		t.Fatal("unmatched key dropped")
+	}
+}
+
+// Scratch reservations share the global ledger with resident entries:
+// reserving capture bytes under pressure must evict resident entries, and
+// releasing must restore headroom.
+func TestKeyedReserveScratchEvicts(t *testing.T) {
+	const budget = 1024
+	s := newKeyed(t, fragstore.KeyedConfig{Shards: 1, ByteBudget: budget})
+	for i := 0; i < 4; i++ {
+		s.Put(fmt.Sprintf("k%d", i), fragstore.KeyedEntry{Value: make([]byte, 200)}, 0)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("resident = %d before reservation", s.Len())
+	}
+	// Reserving 600 scratch bytes leaves room for only 424 resident.
+	s.ReserveScratch(600)
+	if got := s.BudgetUsed(); got > budget {
+		t.Fatalf("ledger settled at %d, over the %d budget", got, budget)
+	}
+	if s.Len() > 2 {
+		t.Fatalf("resident = %d after a 600-byte reservation, want <= 2", s.Len())
+	}
+	s.ReserveScratch(-600)
+	if used, bytes := s.BudgetUsed(), s.Bytes(); used != bytes {
+		t.Fatalf("ledger (%d) disagrees with shard accounting (%d) after release", used, bytes)
+	}
+	// Unbudgeted stores ignore reservations entirely.
+	u := newKeyed(t, fragstore.KeyedConfig{})
+	u.ReserveScratch(1 << 30)
+	if u.BudgetUsed() != 0 {
+		t.Fatalf("unbudgeted store accounted scratch bytes: %d", u.BudgetUsed())
+	}
+}

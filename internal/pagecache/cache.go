@@ -1,6 +1,7 @@
 package pagecache
 
 import (
+	"strings"
 	"time"
 
 	"dpcache/internal/clock"
@@ -52,25 +53,75 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	return &Cache{store: store}, nil
 }
 
+// metaSep separates the content type from the entity tag inside the
+// keyed store's Meta string. NUL cannot appear in either field (one is a
+// header value, the other a quoted hex digest).
+const metaSep = "\x00"
+
+func packMeta(contentType, etag string) string {
+	if etag == "" {
+		return contentType
+	}
+	return contentType + metaSep + etag
+}
+
+func unpackMeta(meta string) (contentType, etag string) {
+	if i := strings.IndexByte(meta, 0); i >= 0 {
+		return meta[:i], meta[i+1:]
+	}
+	return meta, ""
+}
+
 // Get returns the cached page under key, if fresh.
 func (c *Cache) Get(key string) (body []byte, contentType string, ok bool) {
+	body, contentType, _, ok = c.GetTagged(key)
+	return body, contentType, ok
+}
+
+// GetTagged returns the cached page under key plus the entity tag it was
+// stamped with at capture time ("" when stored untagged).
+func (c *Cache) GetTagged(key string) (body []byte, contentType, etag string, ok bool) {
 	e, ok := c.store.Get(key)
 	if !ok {
-		return nil, "", false
+		return nil, "", "", false
 	}
-	return e.Value, e.Meta, true
+	contentType, etag = unpackMeta(e.Meta)
+	return e.Value, contentType, etag, true
 }
 
 // Put stores a page under key for ttl. Non-positive ttl is ignored: a
-// URL-keyed page cache cannot see fragment invalidations, so time is the
-// only freshness signal it has — an unexpiring page would be wrong
-// forever.
+// URL-keyed page cache cannot see fragment invalidations on its own, so
+// time is the baseline freshness signal — an unexpiring page would be
+// wrong forever wherever no invalidation fabric is wired.
 func (c *Cache) Put(key string, body []byte, contentType string, ttl time.Duration) {
+	c.PutTagged(key, body, contentType, "", ttl)
+}
+
+// PutTagged stores a page along with its strong entity tag, letting the
+// tier answer If-None-Match revalidations with a 304 instead of a body.
+func (c *Cache) PutTagged(key string, body []byte, contentType, etag string, ttl time.Duration) {
 	if ttl <= 0 {
 		return
 	}
-	c.store.Put(key, fragstore.KeyedEntry{Value: body, Meta: contentType}, ttl)
+	c.store.Put(key, fragstore.KeyedEntry{Value: body, Meta: packMeta(contentType, etag)}, ttl)
 }
+
+// Delete removes the page under key, reporting whether one was resident.
+// The coherency fabric's page subscriber drops invalidated pages here.
+func (c *Cache) Delete(key string) bool { return c.store.Delete(key) }
+
+// DeleteFunc removes every page whose key satisfies pred, returning the
+// count (scoped purges: every variant of one URI shares a key prefix).
+func (c *Cache) DeleteFunc(pred func(key string) bool) int {
+	return c.store.DeleteFunc(pred)
+}
+
+// ReserveCapture charges n in-flight capture-buffer bytes (negative
+// releases them) against the cache's global byte ledger, so concurrent
+// response captures evict resident pages to make room instead of letting
+// a capture storm hold budget-busting bytes off the books. No-op when
+// the cache is unbudgeted.
+func (c *Cache) ReserveCapture(n int64) { c.store.ReserveScratch(n) }
 
 // Flush empties the cache.
 func (c *Cache) Flush() { c.store.Flush() }

@@ -212,3 +212,62 @@ func TestMetrics(t *testing.T) {
 		t.Fatal("hit/miss accounting wrong")
 	}
 }
+
+// Tagged entries carry their entity tag alongside the content type; the
+// untagged API must keep working and never leak the separator.
+func TestCacheTaggedEntries(t *testing.T) {
+	c, err := NewCache(CacheConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PutTagged("/p", []byte("body"), "text/html", `"abc123"`, time.Minute)
+	body, ctype, etag, ok := c.GetTagged("/p")
+	if !ok || string(body) != "body" || ctype != "text/html" || etag != `"abc123"` {
+		t.Fatalf("GetTagged = %q, %q, %q, %v", body, ctype, etag, ok)
+	}
+	if _, ctype, ok := c.Get("/p"); !ok || ctype != "text/html" {
+		t.Fatalf("untagged Get on a tagged entry: ctype = %q, ok = %v", ctype, ok)
+	}
+	c.Put("/q", []byte("other"), "text/plain", time.Minute)
+	if _, _, etag, _ := c.GetTagged("/q"); etag != "" {
+		t.Fatalf("untagged Put produced etag %q", etag)
+	}
+}
+
+// Deleting a key removes only that entry; DeleteFunc drops by predicate.
+func TestCacheDelete(t *testing.T) {
+	c, err := NewCache(CacheConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("GET\x00/a\x00fr", []byte("x"), "", time.Minute)
+	c.Put("GET\x00/a\x00en", []byte("x"), "", time.Minute)
+	c.Put("GET\x00/b\x00", []byte("x"), "", time.Minute)
+	if !c.Delete("GET\x00/b\x00") || c.Delete("GET\x00/b\x00") {
+		t.Fatal("Delete did not report residency correctly")
+	}
+	n := c.DeleteFunc(func(k string) bool { return strings.HasPrefix(k, "GET\x00/a\x00") })
+	if n != 2 || c.Len() != 0 {
+		t.Fatalf("DeleteFunc dropped %d, %d resident", n, c.Len())
+	}
+}
+
+// Capture reservations count against the page tier's budget: a burst of
+// in-flight captures must evict resident pages rather than let
+// resident + in-flight exceed the ledger.
+func TestCacheReserveCapture(t *testing.T) {
+	c, err := NewCache(CacheConfig{ByteBudget: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("/hot", make([]byte, 800), "", time.Minute)
+	c.ReserveCapture(800)
+	if c.Len() != 0 {
+		t.Fatalf("resident = %d under capture pressure, want 0", c.Len())
+	}
+	c.ReserveCapture(-800)
+	c.Put("/hot", make([]byte, 800), "", time.Minute)
+	if c.Len() != 1 {
+		t.Fatal("release did not restore headroom")
+	}
+}

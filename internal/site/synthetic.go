@@ -31,10 +31,35 @@ type SyntheticConfig struct {
 	// (Table 2: 0.6), realized with analytical.CacheableStripe so the
 	// model and the site agree exactly.
 	Cacheability float64
+	// FragmentSizeFactors, when non-empty, makes rendered fragment sizes
+	// heterogeneous: fragment j renders to exactly
+	// FragmentBytes × FragmentSizeFactors[j mod len] bytes. Empty keeps
+	// Table 2's uniform sizes. Size-aware eviction policies (GDSF) only
+	// separate from LRU when sizes vary — the memory experiment uses a
+	// heavy-tailed cycle here.
+	FragmentSizeFactors []int
 	// TTL applies to every cacheable fragment; zero disables time-based
 	// expiry (the bandwidth experiments drive invalidation through the
 	// BEM's forced-miss hook instead).
 	TTL time.Duration
+}
+
+// FragmentSize returns fragment j's exact rendered byte size.
+func (c SyntheticConfig) FragmentSize(j int) int {
+	if len(c.FragmentSizeFactors) == 0 {
+		return c.FragmentBytes
+	}
+	return c.FragmentBytes * c.FragmentSizeFactors[j%len(c.FragmentSizeFactors)]
+}
+
+// TotalFragmentBytes is the site's nominal working set: the sum of every
+// fragment's rendered size (the budget sweeps are expressed against it).
+func (c SyntheticConfig) TotalFragmentBytes() int64 {
+	var total int64
+	for j := 0; j < c.Pages*c.FragmentsPerPage; j++ {
+		total += int64(c.FragmentSize(j))
+	}
+	return total
 }
 
 // DefaultSynthetic returns Table 2's structural settings.
@@ -53,6 +78,11 @@ func (c SyntheticConfig) Validate() error {
 		return fmt.Errorf("site: fragment bytes must be >= 16 (room for the fragment header)")
 	case c.Cacheability < 0 || c.Cacheability > 1:
 		return fmt.Errorf("site: cacheability outside [0,1]")
+	}
+	for _, f := range c.FragmentSizeFactors {
+		if f < 1 {
+			return fmt.Errorf("site: fragment size factor %d must be >= 1", f)
+		}
 	}
 	return nil
 }
@@ -98,7 +128,7 @@ func BuildSynthetic(cfg SyntheticConfig, repo *repository.Repo) (*script.Script,
 		Pages:         make([][]int, cfg.Pages),
 	}
 	for j := 0; j < total; j++ {
-		man.FragmentBytes[j] = float64(cfg.FragmentBytes)
+		man.FragmentBytes[j] = float64(cfg.FragmentSize(j))
 		man.Cacheable[j] = analytical.CacheableStripe(j, cfg.Cacheability)
 		repo.Put(repository.Key{Table: syntheticTable, Row: fragRow(j)},
 			map[string]string{"v": "1"})
@@ -120,7 +150,7 @@ func BuildSynthetic(cfg SyntheticConfig, repo *repository.Repo) (*script.Script,
 			blocks := make([]script.Block, 0, cfg.FragmentsPerPage)
 			for k := 0; k < cfg.FragmentsPerPage; k++ {
 				j := page*cfg.FragmentsPerPage + k
-				render := syntheticFragment(j, cfg.FragmentBytes)
+				render := syntheticFragment(j, cfg.FragmentSize(j))
 				if man.Cacheable[j] {
 					blocks = append(blocks, script.Tagged(
 						fmt.Sprintf("synthfrag%d", j), cfg.TTL, nil, render))
