@@ -3,6 +3,7 @@
 //	dpcbench                    # run everything
 //	dpcbench -run fig3b,fig5    # run selected artifacts
 //	dpcbench -requests 1000     # bigger measurement windows
+//	dpcbench -run pipeline,memory -json .   # also emit BENCH_*.json trajectories
 //
 // Analytical artifacts (table2, fig2a, fig2b, fig3a, result1) are
 // instantaneous; experimental ones (fig3b, fig5, fig6, casestudy) stand up
@@ -25,6 +26,7 @@ func main() {
 	warmup := flag.Int("warmup", 0, "warmup requests per point (0 = default)")
 	concurrency := flag.Int("concurrency", 0, "client workers (0 = default)")
 	seed := flag.Int64("seed", 0, "workload seed (0 = default)")
+	jsonDir := flag.String("json", "", "also write each result as <dir>/BENCH_<id>.json trajectory files")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -76,6 +78,15 @@ func main() {
 		}
 		fmt.Print(tab.String())
 		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *jsonDir != "" {
+			path, err := experiments.WriteBench(*jsonDir, tab, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				exit = 1
+				continue
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
 	}
 	os.Exit(exit)
 }

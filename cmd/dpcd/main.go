@@ -51,7 +51,24 @@
 //
 // Store occupancy, byte, and eviction metrics are served from
 // /_dpc/stats, refreshed in the background every -publish interval and,
-// with -status, logged periodically.
+// with -status, logged periodically. The same metric surface is served
+// in Prometheus text exposition format from /_dpc/metrics.
+//
+// -trace enables request-scoped tracing (docs/OBSERVABILITY.md): each
+// request carries a span tree — one span per pipeline stage, one per
+// fragment resolved — annotated with tier hit/miss decisions, coalesce
+// roles, and stale-bypass causes. Traces are sampled (every
+// -trace-sample'th request, plus everything at least -trace-slow, which
+// also emits a one-line slow-request log) into a -trace-ring-bounded
+// ring served newest-first from /_dpc/trace (?min_ms= filters). Trace
+// ids propagate across proxy hops via the X-DPC-Trace header, and
+// sampled responses are stamped with X-DPC-Trace-Id:
+//
+//	dpcd -trace -trace-sample 16 -trace-slow 100ms
+//
+// -pprof mounts net/http/pprof under /_dpc/pprof/ for CPU, heap, and
+// contention profiles (an unauthenticated diagnostic surface on the
+// serving listener, so off by default).
 package main
 
 import (
@@ -90,6 +107,11 @@ func main() {
 	depBudget := flag.Int64("depindex-budget", 0, "dependency-index edge byte budget for surgical page invalidation (0 = 1MiB default)")
 	publishEvery := flag.Duration("publish", 10*time.Second, "background dpc.store.* gauge refresh interval (0 = disabled)")
 	statusEvery := flag.Duration("status", 0, "log store status at this interval (0 = disabled)")
+	traceOn := flag.Bool("trace", false, "request-scoped tracing: per-stage spans and decision events, captured to /_dpc/trace")
+	traceSample := flag.Int("trace-sample", 0, "capture every Nth trace into the ring (0 = 64 default; slow requests always captured)")
+	traceSlow := flag.Duration("trace-slow", 0, "always capture and log requests at least this slow (0 = 250ms default, negative = disabled)")
+	traceRing := flag.Int("trace-ring", 0, "captured-trace ring size served by /_dpc/trace (0 = 256 default)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /_dpc/pprof/ (exposes runtime profiles on the serving listener)")
 	flag.Parse()
 
 	codec, err := tmpl.ByName(*codecName)
@@ -126,6 +148,11 @@ func main() {
 		PageCacheBudget:     *pageBudget,
 		DepIndexBudget:      *depBudget,
 		PublishInterval:     publish,
+		Trace:               *traceOn,
+		TraceSampleEvery:    *traceSample,
+		TraceSlow:           *traceSlow,
+		TraceRingSize:       *traceRing,
+		Pprof:               *pprofOn,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -34,6 +34,7 @@ import (
 	"dpcache/internal/repository"
 	"dpcache/internal/script"
 	"dpcache/internal/tmpl"
+	"dpcache/internal/trace"
 )
 
 // storeConfig maps the config's Store* selection onto fragstore's config.
@@ -154,6 +155,24 @@ type Config struct {
 	// Registry receives all component metrics; a fresh one is created
 	// when nil.
 	Registry *metrics.Registry
+	// Trace enables request-scoped tracing: one tracer is shared by the
+	// front proxy and every edge, so a request that hops edge → interior
+	// proxy (the trace id riding the X-DPC-Trace header) lands as one
+	// stitched tree in each node's capture ring at /_dpc/trace.
+	Trace bool
+	// TraceSampleEvery admits every Nth finished trace to the capture
+	// ring (0 selects the trace default, 64; slow requests are always
+	// admitted regardless).
+	TraceSampleEvery int
+	// TraceSlow is the always-capture slow threshold (0 selects the
+	// trace default, 250ms; negative disables slow capture).
+	TraceSlow time.Duration
+	// TraceRing bounds the shared capture ring (0 selects the trace
+	// default, 256).
+	TraceRing int
+	// Pprof mounts net/http/pprof under /_dpc/pprof/ on each proxy's
+	// admin surface.
+	Pprof bool
 }
 
 // System is a fully wired origin + proxy deployment.
@@ -174,6 +193,11 @@ type System struct {
 	Hub *coherency.Hub
 	// Registry aggregates metrics across components.
 	Registry *metrics.Registry
+	// Tracer is the request tracer shared by the front proxy and every
+	// edge (nil unless Config.Trace). Sharing one tracer means an
+	// edge-originated trace id resolves in the interior proxy's ring
+	// too, and dpc.trace.* counters aggregate cluster-wide.
+	Tracer *trace.Tracer
 
 	cfg         Config
 	originLn    net.Listener
@@ -186,7 +210,9 @@ type System struct {
 }
 
 // proxyConfig translates the system config into one proxy's config.
-func (c Config) proxyConfig(originURL string, store fragstore.FragmentStore, reg *metrics.Registry) dpc.Config {
+// tracer may be nil (tracing off); when set it is shared across proxies
+// so edge→interior hops stitch into one trace id space.
+func (c Config) proxyConfig(originURL string, store fragstore.FragmentStore, reg *metrics.Registry, tracer *trace.Tracer) dpc.Config {
 	return dpc.Config{
 		OriginURL:           originURL,
 		Capacity:            c.Capacity,
@@ -204,6 +230,8 @@ func (c Config) proxyConfig(originURL string, store fragstore.FragmentStore, reg
 		DepIndexBudget:      c.DepIndexBudget,
 		PublishInterval:     c.PublishInterval,
 		Registry:            reg,
+		Tracer:              tracer,
+		Pprof:               c.Pprof,
 	}
 }
 
@@ -296,6 +324,10 @@ func NewSystem(cfg Config, mode Mode) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	var tracer *trace.Tracer
+	if cfg.Trace {
+		tracer = dpc.NewTracer(cfg.Registry, cfg.TraceSampleEvery, cfg.TraceSlow, cfg.TraceRing)
+	}
 	return &System{
 		Mode:     mode,
 		Repo:     repo,
@@ -303,6 +335,7 @@ func NewSystem(cfg Config, mode Mode) (*System, error) {
 		Origin:   org,
 		Meter:    netsim.NewMeter(0),
 		Registry: cfg.Registry,
+		Tracer:   tracer,
 		cfg:      cfg,
 	}, nil
 }
@@ -341,7 +374,7 @@ func (s *System) Start() error {
 		_ = originLn.Close()
 		return err
 	}
-	proxy, err := dpc.New(s.cfg.proxyConfig("http://"+originLn.Addr().String(), store, s.Registry))
+	proxy, err := dpc.New(s.cfg.proxyConfig("http://"+originLn.Addr().String(), store, s.Registry, s.Tracer))
 	if err != nil {
 		_ = originLn.Close()
 		return err
@@ -393,7 +426,7 @@ func (s *System) StartEdge(name string) (Edge, error) {
 	if err != nil {
 		return Edge{}, err
 	}
-	proxy, err := dpc.New(s.cfg.proxyConfig(s.OriginURL(), store, s.Registry))
+	proxy, err := dpc.New(s.cfg.proxyConfig(s.OriginURL(), store, s.Registry, s.Tracer))
 	if err != nil {
 		return Edge{}, err
 	}

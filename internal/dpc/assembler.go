@@ -7,6 +7,7 @@ import (
 
 	"dpcache/internal/fragstore"
 	"dpcache/internal/tmpl"
+	"dpcache/internal/trace"
 )
 
 // ErrStale reports that one or more GET instructions referenced slots that
@@ -84,6 +85,15 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // written — the page is already unusable, and suppressing the tail is what
 // lets a streaming caller with an uncommitted spool abort cleanly.
 func (a *Assembler) Assemble(w io.Writer, r io.Reader) (AssembleStats, error) {
+	return a.AssembleTrace(w, r, nil)
+}
+
+// AssembleTrace is Assemble with decision provenance: each GET
+// instruction resolves under its own child span of sp, annotated with the
+// fragment reference and whether the store answered (the per-fragment
+// spans of a request trace). A nil sp records nothing and allocates
+// nothing extra.
+func (a *Assembler) AssembleTrace(w io.Writer, r io.Reader, sp *trace.Span) (AssembleStats, error) {
 	var st AssembleStats
 	var seen map[uint64]struct{} // lazily allocated ref dedup
 	addRef := func(key, gen uint32) {
@@ -141,10 +151,24 @@ func (a *Assembler) Assemble(w io.Writer, r io.Reader) (AssembleStats, error) {
 			}
 		case tmpl.OpGet:
 			st.Gets++
+			var fsp *trace.Span
+			if sp != nil {
+				fsp = sp.Child("fragment")
+			}
 			data, ok := a.store.Get(in.Key, in.Gen, a.strict)
 			if !ok {
+				if fsp != nil {
+					fsp.Event(trace.KindMiss, "fragment",
+						fmt.Sprintf("%d:%d", in.Key, in.Gen), 0)
+					fsp.Finish()
+				}
 				st.Stale = append(st.Stale, StaleRef{Key: in.Key, Gen: in.Gen})
 				continue
+			}
+			if fsp != nil {
+				fsp.Event(trace.KindHit, "fragment",
+					fmt.Sprintf("%d:%d", in.Key, in.Gen), int64(len(data)))
+				fsp.Finish()
 			}
 			addRef(in.Key, in.Gen)
 			if doomed {

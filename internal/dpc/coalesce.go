@@ -73,6 +73,9 @@ type flightChunk struct {
 // attach to.
 type flight struct {
 	key string
+	// id identifies the flight in trace role events, so a leader and its
+	// followers can be grouped across captured traces.
+	id uint64
 	// method is the leader's request method. HEAD followers may ride a
 	// GET flight (they need only its committed headers); a GET must
 	// never ride a HEAD flight, whose response has no body.
@@ -264,7 +267,8 @@ func (f *flight) waiterCount() int {
 type flightGroup struct {
 	mu  sync.Mutex
 	m   map[string]*flight
-	max int // broadcast buffer byte cap per flight
+	seq uint64 // flight-id counter (trace role events)
+	max int    // broadcast buffer byte cap per flight
 }
 
 func newFlightGroup(maxBytes int) *flightGroup {
@@ -291,6 +295,8 @@ func (g *flightGroup) join(key, method string) (f *flight, leader bool, fol *fol
 		return f, false, f.attach()
 	}
 	f = newFlight(key, method, g.max)
+	g.seq++
+	f.id = g.seq
 	g.m[key] = f
 	return f, true, nil
 }

@@ -157,8 +157,8 @@ func TestFollowerStreamsLeaderInProgressPage(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("follower got no byte while the leader was mid-page: live attach is not streaming")
 	}
-	if got := <-followerHdr; got != "COALESCED" {
-		t.Fatalf("follower X-Cache = %q, want COALESCED", got)
+	if got := <-followerHdr; got != "COALESCE-FOLLOWER" {
+		t.Fatalf("follower X-Cache = %q, want COALESCE-FOLLOWER", got)
 	}
 
 	close(o.release)
@@ -788,8 +788,8 @@ func TestHeadFollowerSharesGetFlight(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("HEAD status = %d", resp.StatusCode)
 		}
-		if got := resp.Header.Get("X-Cache"); got != "COALESCED" {
-			t.Fatalf("HEAD X-Cache = %q, want COALESCED", got)
+		if got := resp.Header.Get("X-Cache"); got != "COALESCE-FOLLOWER" {
+			t.Fatalf("HEAD X-Cache = %q, want COALESCE-FOLLOWER", got)
 		}
 		if got := resp.ContentLength; got != int64(len(wantBody)) {
 			t.Fatalf("HEAD Content-Length = %d, want %d", got, len(wantBody))

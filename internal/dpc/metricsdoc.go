@@ -82,6 +82,11 @@ func MetricCatalog() []MetricDoc {
 		{"dpc.store.drops", "gauge", "entries dropped by invalidation since creation"},
 		{"dpc.store.evictions", "gauge", "entries evicted by the budget policy since creation"},
 		{"dpc.store.evicted_bytes", "gauge", "cumulative bytes evicted by the budget policy"},
+		// Request tracing (internal/trace; populated only when tracing is
+		// enabled).
+		{"dpc.trace.sampled", "counter", "a finished trace was admitted to the capture ring (rate-sampled, slow, or remote-propagated id)"},
+		{"dpc.trace.dropped", "counter", "a finished trace was not admitted to the ring"},
+		{"dpc.trace.slow", "counter", "a trace met the slow threshold (also summarized in the one-line slow-request log)"},
 		// Latency.
 		{"dpc.latency", "histogram", "end-to-end latency of every served response"},
 	}

@@ -175,6 +175,9 @@ func newMetricsTestSystem(t *testing.T) *Proxy {
 		c.PageCacheTTL = time.Minute
 		c.Coalesce = true
 		c.Stream = true
+		c.Trace = true
+		c.TraceSampleEvery = 1
+		c.TraceSlow = -1
 	})
 	ts := httptest.NewServer(p)
 	t.Cleanup(ts.Close)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dpcache/internal/depindex"
+	"dpcache/internal/trace"
 )
 
 // The pagecache stage is the whole-page cache tier: a cache of complete
@@ -163,6 +164,7 @@ func (p *Proxy) stagePageCache(rs *reqState) (stageOutcome, error) {
 	}
 	if !anonymousSession(rs.r) {
 		p.reg.Counter("dpc.pagecache_bypass_identity").Inc()
+		rs.span.Event(trace.KindBypass, "page", "identity", 0)
 		return stageNext, nil
 	}
 	key := pageKey(rs.r)
@@ -173,6 +175,7 @@ func (p *Proxy) stagePageCache(rs *reqState) (stageOutcome, error) {
 			// 304 carries the tag back and nothing else — zero body
 			// bytes for a revalidation of a surviving page.
 			p.reg.Counter("dpc.pagecache_304s").Inc()
+			rs.span.Event(trace.KindHit, "page", "304", 0)
 			h := rs.w.Header()
 			h.Set("ETag", etag)
 			h.Set("Via", "dpcache-dpc/1.0")
@@ -182,11 +185,13 @@ func (p *Proxy) stagePageCache(rs *reqState) (stageOutcome, error) {
 			rs.cacheState = "PAGE"
 			return stageRespond, nil
 		}
+		rs.span.Event(trace.KindHit, "page", "", int64(len(body)))
 		rs.body, rs.ctype, rs.cacheState = body, ctype, "PAGE"
 		rs.pageETag = etag
 		return stageRespond, nil
 	}
 	p.reg.Counter("dpc.pagecache_misses").Inc()
+	rs.span.Event(trace.KindMiss, "page", "", 0)
 	// Tee everything the rest of the pipeline writes to this client —
 	// buffered page, streamed assembly, coalesced broadcast — into a
 	// bounded side buffer; stageRespond files it under this key. The
@@ -217,13 +222,14 @@ func (p *Proxy) fillPageCache(rs *reqState) {
 		// weight duplicating the bytes.
 		return
 	}
-	if rs.cacheState == "COALESCED" {
+	if rs.cacheState == "COALESCE-FOLLOWER" {
 		// pageKey == coalesce key, so the flight's leader is filling this
 		// exact key (with origin-header knowledge the follower lacks).
 		return
 	}
 	if c.status != http.StatusOK || c.overflow || rs.pageUncacheable {
 		p.reg.Counter("dpc.pagecache_uncacheable").Inc()
+		rs.span.Event(trace.KindBypass, "page", "uncacheable", 0)
 		return
 	}
 	if c.discarded {
@@ -257,9 +263,17 @@ func (p *Proxy) fillPageCache(rs *reqState) {
 		// its tombstone/epoch cannot have — unfile the stale page.
 		p.pages.Delete(rs.pageKey)
 		p.reg.Counter("dpc.pagecache_invalidations").Inc()
+		if rs.span != nil {
+			cause := "fragment-tombstone"
+			if p.depix.Epoch() != rs.depEpoch {
+				cause = "epoch-flush"
+			}
+			rs.span.Event(trace.KindInvalidated, "page", cause, 0)
+		}
 		return
 	}
 	p.reg.Counter("dpc.pagecache_fills").Inc()
+	rs.span.Event(trace.KindFill, "page", "", int64(len(body)))
 }
 
 // pageCapture tees a response into a bounded buffer on its way to the

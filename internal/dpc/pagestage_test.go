@@ -354,8 +354,8 @@ func TestPageCacheSkipsStaticallyCached(t *testing.T) {
 	defer ts.Close()
 
 	pageGet(t, ts.URL+"/asset.css", nil)
-	if _, state := pageGet(t, ts.URL+"/asset.css", nil); state != "HIT" {
-		t.Fatalf("revisit state = %s, want static HIT", state)
+	if _, state := pageGet(t, ts.URL+"/asset.css", nil); state != "STATIC" {
+		t.Fatalf("revisit state = %s, want static STATIC", state)
 	}
 	if got := p.Pages().Len(); got != 0 {
 		t.Fatalf("page tier duplicated a statically cached body (%d entries)", got)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dpcache/internal/metrics"
+	"dpcache/internal/trace"
 )
 
 // The request path is an explicit pipeline of named stages:
@@ -61,10 +62,15 @@ type reqState struct {
 	r     *http.Request
 	start time.Time
 
+	// trace is the request's root span and span the current stage's child
+	// span; both are nil (and every use a no-op) when tracing is off.
+	trace *trace.Span
+	span  *trace.Span
+
 	// Response under construction.
 	body       []byte // buffered page (nil when streamed)
 	ctype      string
-	cacheState string // HIT, MISS, COALESCED, or BYPASS
+	cacheState string // STATIC, PAGE, MISS, COALESCE-FOLLOWER, or BYPASS
 	streamed   bool   // body (or part of it) already reached the client
 
 	// reqBody is the client's request body, buffered once so the
@@ -126,10 +132,12 @@ func (p *Proxy) stageStaticCache(rs *reqState) (stageOutcome, error) {
 	}
 	body, ctype, ok := p.static.Get(staticKey(rs.r))
 	if !ok {
+		rs.span.Event(trace.KindMiss, "static", "", 0)
 		return stageNext, nil
 	}
 	p.reg.Counter("dpc.static_hits").Inc()
-	rs.body, rs.ctype, rs.cacheState = body, ctype, "HIT"
+	rs.span.Event(trace.KindHit, "static", "", int64(len(body)))
+	rs.body, rs.ctype, rs.cacheState = body, ctype, "STATIC"
 	return stageRespond, nil
 }
 
@@ -142,24 +150,29 @@ func (p *Proxy) stageCoalesce(rs *reqState) (stageOutcome, error) {
 	f, leader, fol := p.flights.join(flightKey(rs.r), rs.r.Method)
 	if leader {
 		rs.flight = f
+		rs.span.Event(trace.KindRole, "coalesce", "leader", int64(f.id))
 		return stageNext, nil
 	}
 	if f == nil {
 		// Method mismatch: a GET cannot be served from a HEAD-led flight
 		// (the leader's response has no body). Fetch independently.
+		rs.span.Event(trace.KindMiss, "coalesce", "method-mismatch", 0)
 		return stageNext, nil
 	}
 	if fol == nil {
 		// The flight sealed (broadcast buffer over its byte cap) before we
 		// arrived: the replay window is gone, so fetch independently.
 		p.reg.Counter("dpc.coalesce_overflows").Inc()
+		rs.span.Event(trace.KindMiss, "coalesce", "sealed", int64(f.id))
 		return stageNext, nil
 	}
 	if rs.r.Method == http.MethodHead && f.method == http.MethodGet {
 		// HEAD rides the GET broadcast: it needs only the flight's
 		// committed headers, never the body bytes.
+		rs.span.Event(trace.KindRole, "coalesce", "head-follower", int64(f.id))
 		return p.serveHeadFollower(rs, f, fol)
 	}
+	rs.span.Event(trace.KindRole, "coalesce", "follower", int64(f.id))
 	if rs.pageCapture != nil {
 		// The leader is filling this page key; buffering a duplicate
 		// through the follower's tee would be copied and dropped.
@@ -184,6 +197,7 @@ func (p *Proxy) serveHeadFollower(rs *reqState, f *flight, fol *follower) (stage
 	}
 	if c.state != flightDone {
 		p.reg.Counter("dpc.coalesce_fallbacks").Inc()
+		rs.span.Event(trace.KindMiss, "coalesce", "leader-aborted", 0)
 		return stageNext, nil
 	}
 	h := rs.w.Header()
@@ -198,10 +212,10 @@ func (p *Proxy) serveHeadFollower(rs *reqState, f *flight, fol *follower) (stage
 	h.Set("Content-Type", ctype)
 	h.Set("Content-Length", strconv.FormatInt(clen, 10))
 	h.Set("Via", "dpcache-dpc/1.0")
-	h.Set("X-Cache", "COALESCED")
+	h.Set("X-Cache", "COALESCE-FOLLOWER")
 	rs.w.WriteHeader(http.StatusOK)
 	rs.streamed = true // headers committed; respond must not write a body
-	rs.cacheState = "COALESCED"
+	rs.cacheState = "COALESCE-FOLLOWER"
 	p.reg.Counter("dpc.coalesced").Inc()
 	p.reg.Counter("dpc.coalesce_head_shared").Inc()
 	return stageRespond, nil
@@ -236,11 +250,11 @@ func (p *Proxy) serveFollower(rs *reqState, f *flight, fol *follower) (stageOutc
 			h.Set("Content-Length", strconv.FormatInt(clen, 10))
 		}
 		h.Set("Via", "dpcache-dpc/1.0")
-		h.Set("X-Cache", "COALESCED")
+		h.Set("X-Cache", "COALESCE-FOLLOWER")
 		rs.w.WriteHeader(http.StatusOK)
 		committed = true
 		rs.streamed = true
-		rs.cacheState = "COALESCED"
+		rs.cacheState = "COALESCE-FOLLOWER"
 	}
 	for {
 		c := f.next(fol, *bufp, cancelled)
@@ -259,6 +273,7 @@ func (p *Proxy) serveFollower(rs *reqState, f *flight, fol *follower) (stageOutc
 			// Nothing committed: fetch independently instead of amplifying
 			// the leader's failure to every parked request.
 			p.reg.Counter("dpc.coalesce_fallbacks").Inc()
+			rs.span.Event(trace.KindMiss, "coalesce", "leader-aborted", 0)
 			return stageNext, nil
 		}
 		if c.overrun {
@@ -268,6 +283,7 @@ func (p *Proxy) serveFollower(rs *reqState, f *flight, fol *follower) (stageOutc
 				return stageDone, fmt.Errorf("dpc: follower overran the coalesce broadcast buffer")
 			}
 			p.reg.Counter("dpc.coalesce_overflows").Inc()
+			rs.span.Event(trace.KindMiss, "coalesce", "overrun", 0)
 			return stageNext, nil
 		}
 		if c.n > 0 {
@@ -361,6 +377,12 @@ func (p *Proxy) originRequest(rs *reqState, bypassStale []StaleRef) (*http.Respo
 		req.Header.Set("X-Forwarded-For", host)
 	}
 	req.Header.Set(headerCapable, "1")
+	if rs.trace.Sampled() {
+		// Propagate the trace id so a downstream dpc hop (edge → interior
+		// proxy) stitches its trace to this one. Deliberately not part of
+		// forwardedHeaders: it must never enter the coalesce key.
+		req.Header.Set(trace.Header, rs.trace.TraceID())
+	}
 	if bypassStale != nil {
 		req.Header.Set(headerBypass, "1")
 		if s := FormatStaleRefs(bypassStale); s != "" {
@@ -387,9 +409,17 @@ func (p *Proxy) stageOriginFetch(rs *reqState) (stageOutcome, error) {
 	if rs.pageCapture != nil && !pageCacheable(resp.Header) {
 		rs.pageUncacheable = true
 		rs.pageCapture.discard()
+		rs.span.Event(trace.KindBypass, "page", "origin-uncacheable", 0)
 	}
 	ctype := resp.Header.Get("Content-Type")
 	codecName := resp.Header.Get(headerTemplate)
+	if rs.span != nil {
+		shape := "template"
+		if codecName == "" {
+			shape = "plain"
+		}
+		rs.span.Event(trace.KindInfo, "origin", shape, resp.ContentLength)
+	}
 	if codecName == "" {
 		// Plain response: pass through untouched, caching it by URL when
 		// the origin explicitly allows (static content only — templates
@@ -425,6 +455,7 @@ func (p *Proxy) stageOriginFetch(rs *reqState) (stageOutcome, error) {
 		if ttl > 0 {
 			p.static.Put(staticKey(rs.r), body, ctype, ttl)
 			rs.staticFilled = true
+			rs.span.Event(trace.KindFill, "static", "", int64(len(body)))
 			if rs.pageCapture != nil {
 				rs.pageCapture.discard() // the static tier owns this body now
 			}
@@ -513,7 +544,7 @@ func (p *Proxy) stageAssemble(rs *reqState) (stageOutcome, error) {
 
 	if !p.cfg.Stream {
 		var page bytes.Buffer
-		stats, err := p.asm.Assemble(&page, resp.Body)
+		stats, err := p.asm.AssembleTrace(&page, resp.Body, rs.span)
 		p.recordAssembleStats(stats)
 		if err != nil {
 			if errors.Is(err, ErrStale) {
@@ -537,7 +568,7 @@ func (p *Proxy) stageAssemble(rs *reqState) (stageOutcome, error) {
 	// broadcast so followers stream it live.
 	sw := newSpoolWriter(rs, p.spool)
 	defer sw.release()
-	stats, err := p.asm.Assemble(sw, resp.Body)
+	stats, err := p.asm.AssembleTrace(sw, resp.Body, rs.span)
 	p.recordAssembleStats(stats)
 	if err != nil {
 		if errors.Is(err, ErrStale) && !sw.committed {
@@ -608,6 +639,10 @@ func (p *Proxy) stageStaleFallback(rs *reqState) (stageOutcome, error) {
 	// invalidates them and the next template carries fresh SETs instead
 	// of looping here.
 	p.reg.Counter("dpc.stale_fallbacks").Inc()
+	if rs.span != nil {
+		rs.span.Event(trace.KindStaleBypass, "fragment",
+			FormatStaleRefs(rs.staleRefs), int64(len(rs.staleRefs)))
+	}
 	resp, err := p.originRequest(rs, rs.staleRefs)
 	if err != nil {
 		return stageNext, err

@@ -127,7 +127,7 @@ func testCoalesceStorm(t *testing.T, stream, template bool) {
 		if res.body != wantBody {
 			t.Fatalf("body = %q", res.body)
 		}
-		if res.cache == "COALESCED" {
+		if res.cache == "COALESCE-FOLLOWER" {
 			coalesced++
 		}
 	}
@@ -135,7 +135,7 @@ func testCoalesceStorm(t *testing.T, stream, template bool) {
 		t.Fatalf("origin saw %d fetches, want 1", got)
 	}
 	if coalesced != followers {
-		t.Fatalf("%d responses marked COALESCED, want %d", coalesced, followers)
+		t.Fatalf("%d responses marked COALESCE-FOLLOWER, want %d", coalesced, followers)
 	}
 	if got := p.Registry().Counter("dpc.coalesced").Value(); got != followers {
 		t.Fatalf("dpc.coalesced = %d, want %d", got, followers)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"dpcache/internal/metrics"
 	"dpcache/internal/pagecache"
 	"dpcache/internal/tmpl"
+	"dpcache/internal/trace"
 )
 
 // Headers shared with the origin (duplicated here to avoid an import cycle
@@ -111,6 +113,27 @@ type Config struct {
 	// them surgically; over budget it evicts edges and the fabric falls
 	// back to scoped flushes (see internal/depindex).
 	DepIndexBudget int64
+	// Trace enables request-scoped tracing (internal/trace): a span tree
+	// per request with per-stage and per-fragment child spans, sampled
+	// into a bounded ring served at /_dpc/trace. Off by default; the
+	// disabled path adds zero allocations per request.
+	Trace bool
+	// TraceSampleEvery admits 1 in N finished traces to the ring by rate
+	// (0 selects 64; 1 samples everything). Slow requests are always
+	// admitted regardless of the rate.
+	TraceSampleEvery int
+	// TraceSlow is the always-capture slow threshold (0 selects 250ms;
+	// negative disables slow capture and the slow-request log).
+	TraceSlow time.Duration
+	// TraceRingSize bounds retained traces (0 selects 256).
+	TraceRingSize int
+	// Tracer overrides the proxy's tracer with a shared one (core wires
+	// one tracer across the interior proxy and its edges so a cluster
+	// request lands in one ring). Non-nil implies Trace.
+	Tracer *trace.Tracer
+	// Pprof mounts net/http/pprof under /_dpc/pprof/ on the admin mux.
+	// Off by default: profiles expose internals and cost CPU on demand.
+	Pprof bool
 }
 
 // Proxy is the Dynamic Proxy Cache in reverse-proxy mode: it fronts the
@@ -129,7 +152,8 @@ type Proxy struct {
 
 	stages     []*Stage
 	respondIdx int
-	flights    *flightGroup // nil when coalescing disabled
+	flights    *flightGroup  // nil when coalescing disabled
+	tracer     *trace.Tracer // nil when tracing disabled
 	spool      int
 
 	adminOnce sync.Once
@@ -215,6 +239,12 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.Coalesce {
 		p.flights = newFlightGroup(cfg.CoalesceBufferBytes)
 	}
+	switch {
+	case cfg.Tracer != nil:
+		p.tracer = cfg.Tracer
+	case cfg.Trace:
+		p.tracer = NewTracer(reg, cfg.TraceSampleEvery, cfg.TraceSlow, cfg.TraceRingSize)
+	}
 	p.stages = []*Stage{
 		p.newStage("admin", p.stageAdmin),
 		p.newStage("static-cache", p.stageStaticCache),
@@ -295,6 +325,10 @@ func (p *Proxy) Store() fragstore.FragmentStore { return p.store }
 // Registry returns the proxy's metrics registry.
 func (p *Proxy) Registry() *metrics.Registry { return p.reg }
 
+// Tracer returns the proxy's request tracer (nil when tracing is
+// disabled; the nil tracer is valid and fully no-op).
+func (p *Proxy) Tracer() *trace.Tracer { return p.tracer }
+
 // Stages lists the pipeline stages in execution order.
 func (p *Proxy) Stages() []*Stage { return p.stages }
 
@@ -310,9 +344,59 @@ func (p *Proxy) HandleAdmin(path string, h http.Handler) {
 	p.admin.Handle(path, h)
 }
 
+// getOnly restricts a read-only admin endpoint to GET and HEAD; every
+// other method is answered 405 with an Allow header.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
 func (p *Proxy) initAdmin() {
 	p.admin = http.NewServeMux()
-	p.admin.HandleFunc("/_dpc/stats", func(w http.ResponseWriter, _ *http.Request) {
+	p.admin.HandleFunc("/_dpc/trace", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		traces := p.tracer.Traces(trace.ParseMinMS(r.URL.Query().Get("min_ms")))
+		if traces == nil {
+			traces = []trace.TraceJSON{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"enabled": p.tracer.Enabled(),
+			"traces":  traces, // newest first
+		})
+	}))
+	p.admin.HandleFunc("/_dpc/metrics", getOnly(func(w http.ResponseWriter, _ *http.Request) {
+		// Refresh the pull-model gauges first, as /_dpc/stats does, so a
+		// scrape observes current occupancy rather than the last tick's.
+		fragstore.Publish(p.reg, "dpc.store", p.store.Stats())
+		p.publishDepIndex()
+		w.Header().Set("Content-Type", metrics.PromContentType)
+		_ = metrics.WritePrometheus(w, p.reg, expositionMetrics())
+	}))
+	if p.cfg.Pprof {
+		p.admin.HandleFunc("/_dpc/pprof/", func(w http.ResponseWriter, r *http.Request) {
+			switch name := strings.TrimPrefix(r.URL.Path, "/_dpc/pprof/"); name {
+			case "":
+				pprof.Index(w, r)
+			case "cmdline":
+				pprof.Cmdline(w, r)
+			case "profile":
+				pprof.Profile(w, r)
+			case "symbol":
+				pprof.Symbol(w, r)
+			case "trace":
+				pprof.Trace(w, r)
+			default:
+				pprof.Handler(name).ServeHTTP(w, r)
+			}
+		})
+	}
+	p.admin.HandleFunc("/_dpc/stats", getOnly(func(w http.ResponseWriter, _ *http.Request) {
 		st := p.store.Stats()
 		fragstore.Publish(p.reg, "dpc.store", st)
 		p.publishDepIndex() // before the snapshot below, so gauges are current
@@ -354,17 +438,36 @@ func (p *Proxy) initAdmin() {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(out)
-	})
+	}))
 }
 
 // ServeHTTP implements http.Handler: it drives the request through the
-// stage pipeline, timing each stage.
+// stage pipeline, timing each stage. When tracing is enabled (and the
+// request is not an admin request) a root span wraps the whole pipeline,
+// each stage runs under a child span, and response bytes/TTFB are
+// attributed through a wrapping writer; the nil-tracer path adds zero
+// allocations.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rs := &reqState{w: w, r: r, start: time.Now()}
+	if p.tracer.Enabled() && !strings.HasPrefix(r.URL.Path, AdminPrefix) {
+		root := p.tracer.StartRequest(r.Method+" "+r.URL.RequestURI(), r.Header.Get(trace.Header))
+		rs.trace = root
+		rs.r = r.WithContext(trace.NewContext(r.Context(), root))
+		rs.w = &traceWriter{ResponseWriter: w, sp: root}
+		if root.Sampled() {
+			// Known at request start (rate- or remote-sampled), so a
+			// single curl can be correlated with its /_dpc/trace entry.
+			w.Header().Set(trace.ResponseHeader, root.TraceID())
+		}
+		defer root.Finish()
+	}
 	for i := 0; i < len(p.stages); {
 		st := p.stages[i]
 		t0 := time.Now()
+		sp := rs.trace.Child(st.Name)
+		rs.span = sp
 		out, err := st.run(rs)
+		sp.Finish()
 		st.hist.Observe(time.Since(t0))
 		if err != nil {
 			p.fail(rs, err)
@@ -388,6 +491,9 @@ func (p *Proxy) fail(rs *reqState, err error) {
 	p.finishFlight(rs, err)
 	if rs.pageCapture != nil {
 		rs.pageCapture.settle() // release the capture's ledger reservation
+	}
+	if rs.trace != nil {
+		rs.trace.Event(trace.KindError, "", err.Error(), 0)
 	}
 	p.reg.Counter("dpc.errors").Inc()
 	if rs.streamed {

@@ -108,6 +108,27 @@ func (h *Histogram) Max() time.Duration {
 	return h.maxSeen
 }
 
+// BucketSnapshot is a point-in-time copy of a histogram's buckets, used
+// by the Prometheus exposition writer.
+type BucketSnapshot struct {
+	Bounds []time.Duration // upper bound of each bucket, ascending
+	Counts []int64         // per-bucket counts; len(Bounds)+1, last is overflow
+	Sum    time.Duration
+	Total  int64
+}
+
+// Buckets returns a consistent copy of the histogram's bucket state.
+func (h *Histogram) Buckets() BucketSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return BucketSnapshot{
+		Bounds: append([]time.Duration(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Sum:    h.sum,
+		Total:  h.total,
+	}
+}
+
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1) using the
 // bucket boundaries; the answer is exact to within one bucket.
 func (h *Histogram) Quantile(q float64) time.Duration {

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ExpositionMetric names one registry metric for Prometheus text
+// exposition. Type is "counter", "gauge", or "histogram" (matching the
+// registry map the metric lives in); Help becomes the # HELP line.
+type ExpositionMetric struct {
+	Name string
+	Type string
+	Help string
+}
+
+// PromName converts a dotted internal metric name ("dpc.page.hits") to a
+// valid Prometheus metric name ("dpc_page_hits"). Any character outside
+// [a-zA-Z0-9_:] maps to '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus renders the listed metrics from the registry in
+// Prometheus text exposition format (version 0.0.4). Counters and gauges
+// emit a single sample; histograms emit cumulative le-labelled buckets
+// (bounds expressed in seconds), a +Inf bucket, _sum (seconds), and
+// _count. Metrics absent from the registry expose their zero value, so a
+// catalog scrape is complete even before first use.
+func WritePrometheus(w io.Writer, r *Registry, metrics []ExpositionMetric) error {
+	for _, m := range metrics {
+		name := PromName(m.Name)
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(m.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, m.Type); err != nil {
+			return err
+		}
+		var err error
+		switch m.Type {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", name, r.Counter(m.Name).Value())
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %d\n", name, r.Gauge(m.Name).Value())
+		case "histogram":
+			err = writePromHistogram(w, name, r.Histogram(m.Name).Buckets())
+		default:
+			err = fmt.Errorf("metrics: unknown exposition type %q for %s", m.Type, m.Name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, b BucketSnapshot) error {
+	var cum int64
+	for i, bound := range b.Bounds {
+		cum += b.Counts[i]
+		le := promFloat(bound.Seconds())
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, b.Total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(b.Sum.Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, b.Total)
+	return err
+}
+
+// PromContentType is the Content-Type for the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"dpc.page.hits", "dpc_page_hits"},
+		{"dpc.stage.origin-fetch.latency", "dpc_stage_origin_fetch_latency"},
+		{"already_fine", "already_fine"},
+		{"9lives", "_9lives"},
+	} {
+		if got := PromName(tc.in); got != tc.want {
+			t.Errorf("PromName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWritePrometheusScalars(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dpc.requests").Add(7)
+	r.Gauge("dpc.cache.bytes").Set(4096)
+	var b strings.Builder
+	err := WritePrometheus(&b, r, []ExpositionMetric{
+		{Name: "dpc.requests", Type: "counter", Help: "Total requests."},
+		{Name: "dpc.cache.bytes", Type: "gauge", Help: "Bytes held."},
+		{Name: "dpc.never.touched", Type: "counter", Help: "Still exposed."},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP dpc_requests Total requests.\n",
+		"# TYPE dpc_requests counter\n",
+		"dpc_requests 7\n",
+		"# TYPE dpc_cache_bytes gauge\n",
+		"dpc_cache_bytes 4096\n",
+		"dpc_never_touched 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dpc.latency")
+	h.Observe(500 * time.Microsecond) // falls in the 512µs bucket
+	h.Observe(3 * time.Millisecond)
+	h.Observe(30 * time.Second) // overflow past the 16s top bound
+	var b strings.Builder
+	if err := WritePrometheus(&b, r, []ExpositionMetric{
+		{Name: "dpc.latency", Type: "histogram", Help: "End-to-end latency."},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE dpc_latency histogram\n") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	// Buckets are cumulative: the top bound (2^23 µs = 8.388608s) has
+	// seen 2 of 3 observations, +Inf all 3.
+	for _, want := range []string{
+		`dpc_latency_bucket{le="8.388608"} 2` + "\n",
+		`dpc_latency_bucket{le="+Inf"} 3` + "\n",
+		"dpc_latency_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "dpc_latency_sum 30.0035\n") {
+		t.Errorf("unexpected _sum line:\n%s", out)
+	}
+	// Cumulative counts never decrease across bucket lines.
+	var last int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "dpc_latency_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = n
+	}
+}
+
+func TestWritePrometheusUnknownType(t *testing.T) {
+	r := NewRegistry()
+	err := WritePrometheus(&strings.Builder{}, r, []ExpositionMetric{
+		{Name: "dpc.x", Type: "summary"},
+	})
+	if err == nil {
+		t.Fatal("unknown exposition type accepted")
+	}
+}
+
+func TestBucketsSnapshotIsCopy(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 8*time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	b := h.Buckets()
+	if b.Total != 1 || b.Sum != 2*time.Millisecond {
+		t.Fatalf("snapshot = %+v", b)
+	}
+	b.Counts[0] = 99
+	if h.Buckets().Counts[0] == 99 {
+		t.Fatal("Buckets returned live slice, not a copy")
+	}
+}

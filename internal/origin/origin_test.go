@@ -403,7 +403,7 @@ func TestStaticContentCachedAtProxy(t *testing.T) {
 		}
 		wantCache := "MISS"
 		if i > 0 {
-			wantCache = "HIT"
+			wantCache = "STATIC"
 		}
 		if got := resp.Header.Get("X-Cache"); got != wantCache {
 			t.Fatalf("request %d: X-Cache = %q, want %q", i, got, wantCache)

@@ -1,0 +1,336 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestTracer(cfg Config) *Tracer {
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	return New(cfg)
+}
+
+// Sampling is deterministic: with SampleEvery=N, exactly requests
+// 1, N+1, 2N+1, … are rate-sampled, independent of timing.
+func TestSamplingDeterminism(t *testing.T) {
+	tr := newTestTracer(Config{SampleEvery: 4, SlowThreshold: -1, RingSize: 64})
+	var sampledIdx []int
+	for i := 1; i <= 12; i++ {
+		s := tr.StartRequest("GET /x", "")
+		if s.Sampled() {
+			sampledIdx = append(sampledIdx, i)
+		}
+		s.Finish()
+	}
+	want := []int{1, 5, 9}
+	if len(sampledIdx) != len(want) {
+		t.Fatalf("sampled requests %v, want %v", sampledIdx, want)
+	}
+	for i := range want {
+		if sampledIdx[i] != want[i] {
+			t.Fatalf("sampled requests %v, want %v", sampledIdx, want)
+		}
+	}
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("ring holds %d traces, want 3", got)
+	}
+	// Re-running an identical sequence on a fresh tracer samples the same
+	// positions.
+	tr2 := newTestTracer(Config{SampleEvery: 4, SlowThreshold: -1, RingSize: 64})
+	for i := 1; i <= 12; i++ {
+		s := tr2.StartRequest("GET /x", "")
+		if s.Sampled() != (i%4 == 1) {
+			t.Fatalf("request %d: Sampled=%v, not deterministic", i, s.Sampled())
+		}
+		s.Finish()
+	}
+}
+
+// A slow request is captured even when rate sampling would have dropped
+// it, and the one-line slow log fires.
+func TestSlowAlwaysCaptured(t *testing.T) {
+	var logged []string
+	var mu sync.Mutex
+	tr := New(Config{
+		SampleEvery:   1 << 30, // rate-sample effectively nothing
+		SlowThreshold: time.Nanosecond,
+		RingSize:      8,
+		Log: func(format string, args ...any) {
+			mu.Lock()
+			logged = append(logged, format)
+			mu.Unlock()
+		},
+	})
+	// The very first request is rate-sampled (seq 1); use the second to
+	// prove slow admission alone captures a trace.
+	first := tr.StartRequest("GET /slow", "")
+	first.Finish()
+	s2 := tr.StartRequest("GET /slow2", "")
+	if s2.Sampled() {
+		t.Fatal("second request unexpectedly rate-sampled")
+	}
+	time.Sleep(time.Millisecond)
+	s2.Finish()
+	traces := tr.Traces(0)
+	found := false
+	for _, tj := range traces {
+		if tj.Root.Name == "GET /slow2" && tj.Slow {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("slow unsampled request not captured: %+v", traces)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) == 0 {
+		t.Fatal("no slow-request log emitted")
+	}
+	if !strings.Contains(logged[0], "dpc.trace slow") {
+		t.Fatalf("slow log %q lacks the dpc.trace slow prefix", logged[0])
+	}
+}
+
+// The ring never exceeds its bound under a storm of sampled requests, and
+// serves newest-first.
+func TestRingBoundingUnderStorm(t *testing.T) {
+	tr := newTestTracer(Config{SampleEvery: 1, SlowThreshold: -1, RingSize: 32})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := tr.StartRequest("GET /storm", "")
+				s.Child("stage").Finish()
+				s.Finish()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 32 {
+		t.Fatalf("ring holds %d traces, want exactly its bound 32", got)
+	}
+	if got := len(tr.Traces(0)); got != 32 {
+		t.Fatalf("Traces returned %d, want 32", got)
+	}
+	// min_ms filtering: everything here is far under a second.
+	if got := len(tr.Traces(time.Second)); got != 0 {
+		t.Fatalf("Traces(1s) returned %d, want 0", got)
+	}
+}
+
+// Concurrent span finishes racing a ring capture must be safe (run under
+// -race in CI) and capture a consistent tree: unfinished children appear
+// with dur_us = -1, finished ones with a real duration.
+func TestConcurrentFinishVsCapture(t *testing.T) {
+	tr := newTestTracer(Config{SampleEvery: 1, SlowThreshold: -1, RingSize: 64})
+	for iter := 0; iter < 50; iter++ {
+		s := tr.StartRequest("GET /race", "")
+		spans := make([]*Span, 8)
+		for i := range spans {
+			spans[i] = s.Child("child")
+		}
+		var wg sync.WaitGroup
+		for _, c := range spans {
+			wg.Add(1)
+			go func(c *Span) {
+				defer wg.Done()
+				c.Event(KindHit, "static", "", 1)
+				c.MarkFirstByte()
+				c.AddBytes(10)
+				c.Finish()
+			}(c)
+		}
+		// Capture concurrently with the children finishing.
+		go s.Finish()
+		go tr.Traces(0)
+		wg.Wait()
+		s.Finish() // idempotent
+	}
+	if tr.Len() == 0 {
+		t.Fatal("no traces captured")
+	}
+}
+
+// The disabled path — nil tracer, nil spans — allocates nothing. This is
+// the acceptance bound for tracing-off overhead on the request hot path.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr.Enabled() {
+			t.Fatal("nil tracer enabled")
+		}
+		s := tr.StartRequest("GET /x", "")
+		st := s.Child("stage")
+		st.Event(KindHit, "static", "", 0)
+		frag := st.Child("fragment")
+		frag.AddBytes(128)
+		frag.MarkFirstByte()
+		frag.Finish()
+		st.Finish()
+		s.AddBytes(1)
+		s.Finish()
+		if s.Sampled() || s.TraceID() != "" {
+			t.Fatal("nil span sampled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %.1f times per request, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledTracer measures the disabled path's per-request cost.
+func BenchmarkDisabledTracer(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.StartRequest("GET /x", "")
+		for j := 0; j < 8; j++ {
+			c := s.Child("stage")
+			c.Event(KindMiss, "page", "", 0)
+			c.Finish()
+		}
+		s.Finish()
+	}
+}
+
+// BenchmarkEnabledUnsampledTrace measures the recording cost a request
+// pays when tracing is on (tail sampling records every request; the rate
+// only gates ring admission).
+func BenchmarkEnabledUnsampledTrace(b *testing.B) {
+	tr := New(Config{SampleEvery: 1 << 30, SlowThreshold: -1, RingSize: 8,
+		Log: func(string, ...any) {}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.StartRequest("GET /x", "")
+		for j := 0; j < 8; j++ {
+			c := s.Child("stage")
+			c.Event(KindMiss, "page", "", 0)
+			c.Finish()
+		}
+		s.Finish()
+	}
+}
+
+// A remote trace id is adopted verbatim, forces admission, and marks the
+// capture as remote; malformed ids start a fresh trace.
+func TestRemotePropagation(t *testing.T) {
+	tr := newTestTracer(Config{SampleEvery: 1 << 30, SlowThreshold: -1, RingSize: 8})
+	const id = "00c0ffee00c0ffee"
+	s := tr.StartRequest("GET /hop", id)
+	if !s.Sampled() || s.TraceID() != id {
+		t.Fatalf("remote id not adopted: sampled=%v id=%q", s.Sampled(), s.TraceID())
+	}
+	s.Finish()
+	traces := tr.Traces(0)
+	if len(traces) != 1 || traces[0].ID != id || !traces[0].Remote {
+		t.Fatalf("remote trace not captured: %+v", traces)
+	}
+	for _, bad := range []string{"xyz", "00C0FFEE00C0FFEE", "0123", strings.Repeat("a", 17)} {
+		s := tr.StartRequest("GET /hop", bad)
+		if s.TraceID() == bad {
+			t.Fatalf("malformed id %q adopted", bad)
+		}
+		s.Finish()
+	}
+}
+
+// The captured tree preserves structure, events, bytes, and TTFB, and
+// serializes to JSON.
+func TestCaptureShape(t *testing.T) {
+	tr := newTestTracer(Config{SampleEvery: 1, SlowThreshold: -1, RingSize: 8})
+	s := tr.StartRequest("GET /page", "")
+	st := s.Child("assemble")
+	f1 := st.Child("fragment")
+	f1.Event(KindHit, "fragment", "3:9", 42)
+	f1.Finish()
+	f2 := st.Child("fragment")
+	f2.Event(KindMiss, "fragment", "4:1", 0)
+	f2.Finish()
+	st.Finish()
+	s.MarkFirstByte()
+	s.AddBytes(1234)
+	s.Finish()
+
+	traces := tr.Traces(0)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	root := traces[0].Root
+	if root.Name != "GET /page" || root.Bytes != 1234 {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.Children) != 1 || root.Children[0].Name != "assemble" {
+		t.Fatalf("children = %+v", root.Children)
+	}
+	frags := root.Children[0].Children
+	if len(frags) != 2 || frags[0].Events[0].Kind != KindHit || frags[1].Events[0].Kind != KindMiss {
+		t.Fatalf("fragment spans = %+v", frags)
+	}
+	if frags[0].Events[0].Note != "3:9" || frags[0].Events[0].N != 42 {
+		t.Fatalf("fragment event = %+v", frags[0].Events[0])
+	}
+	raw, err := json.Marshal(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"kind":"hit"`) {
+		t.Fatalf("JSON lacks event kinds: %s", raw)
+	}
+}
+
+// Per-span bounds hold: children and events past the caps are counted,
+// not retained.
+func TestSpanBounds(t *testing.T) {
+	tr := newTestTracer(Config{SampleEvery: 1, SlowThreshold: -1, RingSize: 4})
+	s := tr.StartRequest("GET /big", "")
+	for i := 0; i < maxChildren+10; i++ {
+		s.Child("c").Finish()
+	}
+	for i := 0; i < maxEvents+10; i++ {
+		s.Event(KindInfo, "", "", 0)
+	}
+	s.Finish()
+	root := tr.Traces(0)[0].Root
+	if len(root.Children) != maxChildren || len(root.Events) != maxEvents {
+		t.Fatalf("bounds not enforced: %d children, %d events", len(root.Children), len(root.Events))
+	}
+	if root.Truncated != 20 {
+		t.Fatalf("Truncated = %d, want 20", root.Truncated)
+	}
+}
+
+// Context threading round-trips the span.
+func TestContext(t *testing.T) {
+	tr := newTestTracer(Config{SampleEvery: 1, SlowThreshold: -1})
+	s := tr.StartRequest("GET /ctx", "")
+	ctx := NewContext(context.Background(), s)
+	if FromContext(ctx) != s {
+		t.Fatal("span not carried by context")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context yielded a span")
+	}
+	s.Finish()
+}
+
+func TestParseMinMS(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0}, {"bogus", 0}, {"-5", 0}, {"0", 0},
+		{"15", 15 * time.Millisecond}, {"2500", 2500 * time.Millisecond},
+	} {
+		if got := ParseMinMS(tc.in); got != tc.want {
+			t.Errorf("ParseMinMS(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
