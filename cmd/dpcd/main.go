@@ -49,6 +49,15 @@
 // it is off by default: enable it only where the listener is reachable
 // solely by the hub side.
 //
+// -plancache (on by default) compiles each distinct template body into a
+// cached operator program keyed by content hash: repeat assemblies skip
+// the per-request template decode and resolve independent fragment GETs
+// with a bounded parallel prefetch (-plan-parallelism). The streaming
+// interpreter remains the fallback for oversized or corrupt templates;
+// assembled pages are byte-identical on either path. Origin redeploys
+// change the template bytes and miss naturally; plan-cache activity is
+// served under dpc.plancache_* and the plancache section of /_dpc/stats.
+//
 // Store occupancy, byte, and eviction metrics are served from
 // /_dpc/stats, refreshed in the background every -publish interval and,
 // with -status, logged periodically. The same metric surface is served
@@ -103,6 +112,8 @@ func main() {
 	pageTTL := flag.Duration("pagecache-ttl", 0, "whole-page cache freshness window (0 = 2s default)")
 	pageEntries := flag.Int("pagecache-entries", 0, "whole-page cache resident page bound (0 = 1024 default)")
 	pageBudget := flag.Int64("pagecache-budget", 0, "whole-page cache resident byte bound (0 = unbounded)")
+	planCache := flag.Bool("plancache", true, "compile templates into cached operator plans with parallel fragment prefetch (the interpreter remains the fallback)")
+	planPar := flag.Int("plan-parallelism", 0, "plan executor prefetch worker fan-out (0 = 4 default; 1 = sequential)")
 	invalidate := flag.Bool("invalidate", false, "mount the coherency invalidation endpoint at /_dpc/invalidate, fanning hub events to every cache tier (unauthenticated write endpoint on the serving listener — enable only where the hub side is the sole client)")
 	depBudget := flag.Int64("depindex-budget", 0, "dependency-index edge byte budget for surgical page invalidation (0 = 1MiB default)")
 	publishEvery := flag.Duration("publish", 10*time.Second, "background dpc.store.* gauge refresh interval (0 = disabled)")
@@ -146,6 +157,8 @@ func main() {
 		PageCacheTTL:        *pageTTL,
 		PageCacheEntries:    *pageEntries,
 		PageCacheBudget:     *pageBudget,
+		PlanCache:           *planCache,
+		PlanParallelism:     *planPar,
 		DepIndexBudget:      *depBudget,
 		PublishInterval:     publish,
 		Trace:               *traceOn,
@@ -167,8 +180,8 @@ func main() {
 		proxy.HandleAdmin("/_dpc/invalidate", coherency.Handler(fan))
 	}
 	st := store.Stats()
-	fmt.Printf("dpcd: proxying %s on %s (capacity %d, %s codec, strict=%v, coalesce=%v, stream=%v, pagecache=%v)\n",
-		*originURL, *addr, *capacity, codec.Name(), *strict, *coalesce, *stream, *pageCache)
+	fmt.Printf("dpcd: proxying %s on %s (capacity %d, %s codec, strict=%v, coalesce=%v, stream=%v, pagecache=%v, plancache=%v)\n",
+		*originURL, *addr, *capacity, codec.Name(), *strict, *coalesce, *stream, *pageCache, *planCache)
 	fmt.Printf("dpcd: %s store, %d shard(s), byte budget %d, eviction %s; status at http://%s/_dpc/stats\n",
 		st.Backend, st.Shards, st.ByteBudget, *evict, *addr)
 	if *statusEvery > 0 {

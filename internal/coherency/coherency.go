@@ -69,8 +69,8 @@ type Event struct {
 	Reason string
 	// URI is the request URI whose entries are purged (KindPurge).
 	URI string
-	// Scope targets KindFlush: "page", "static", "store", or "" for every
-	// tier.
+	// Scope targets KindFlush: "page", "static", "store", "plan", or ""
+	// for every tier.
 	Scope string
 }
 
@@ -310,13 +310,14 @@ type TierSubscriber struct {
 	mu   sync.Mutex
 	tier KeyedTier
 	ix   *depindex.Index
-	// scope is the tier's flush-scope name ("page" or "static").
+	// scope is the tier's flush-scope name ("page", "static", or "plan").
 	scope string
 	// fragmentEvents marks the tier as able to hold fragment-composed
-	// entries. When false (the static tier: it structurally never stores
-	// assembled content), fragment invalidations are skipped outright —
-	// consulting the shared index would double-count lookups and, under
-	// index eviction pressure, needlessly flush the tier per event.
+	// entries. When false (the plan tier: compiled programs are keyed by
+	// template content hash and retain no fragment bytes), fragment
+	// invalidations are skipped outright — consulting the shared index
+	// would double-count lookups and, under index eviction pressure,
+	// needlessly flush the tier per event.
 	fragmentEvents bool
 
 	lastSeq   uint64
@@ -344,14 +345,26 @@ func NewPageSubscriber(tier KeyedTier, ix *depindex.Index) *TierSubscriber {
 }
 
 // NewStaticSubscriber returns a subscriber keeping a static tier
-// coherent. The static tier structurally cannot hold fragment-composed
-// content (cacheableStatic refuses template responses), so fragment
-// invalidations are skipped; the subscriber exists for purge/flush
-// events and gap recovery. A future tier that stores assembled content
-// under URL keys must instead subscribe like the page tier and record
-// its edges in the index.
+// coherent. The static tier is mostly plain explicitly-cacheable
+// responses, but origins can opt assembled template pages into it
+// (Cache-Control: max-age on a template response); those entries are
+// fragment-composed, with their edges recorded in the index under the
+// static key, so fragment invalidations are consulted exactly as the
+// page tier's are and drop the dependent entries surgically.
 func NewStaticSubscriber(tier KeyedTier, ix *depindex.Index) *TierSubscriber {
-	return &TierSubscriber{tier: tier, ix: ix, scope: "static"}
+	return &TierSubscriber{tier: tier, ix: ix, scope: "static", fragmentEvents: true}
+}
+
+// NewPlanSubscriber returns a subscriber keeping a compiled-template
+// plan cache coherent. Plans are keyed by a content hash of the template
+// bytes and retain no fragment content — a changed fragment changes what
+// an execution resolves, never the compiled program — so fragment
+// invalidations and URI purges are no-ops here. The subscriber exists
+// for "plan"-scoped (and global) flushes and for gap recovery: a lost
+// event could have been such a flush, so the tier conservatively empties
+// and recompiles on demand.
+func NewPlanSubscriber(tier KeyedTier) *TierSubscriber {
+	return &TierSubscriber{tier: tier, scope: "plan"}
 }
 
 // Apply implements Subscriber.

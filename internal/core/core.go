@@ -128,6 +128,15 @@ type Config struct {
 	// fragment→page edge set the fabric consults for surgical page
 	// invalidation (0 selects the dpc default, 1 MiB).
 	DepIndexBudget int64
+	// PlanCache compiles each distinct template into a cached operator
+	// program at every proxy (see dpc.Config.PlanCache): repeat
+	// assemblies skip the per-request decode and resolve independent
+	// fragment GETs with a bounded parallel prefetch. The streaming
+	// interpreter remains the fallback; output bytes are identical.
+	PlanCache bool
+	// PlanParallelism bounds the plan executor's prefetch fan-out (0
+	// selects the dpc default, 4; 1 resolves GETs sequentially).
+	PlanParallelism int
 	// Fabric wires the coherency invalidation fabric (ModeCached only):
 	// a hub is attached to the BEM's invalidation stream and every cache
 	// tier of every proxy — fragment store, whole-page tier, static
@@ -228,6 +237,8 @@ func (c Config) proxyConfig(originURL string, store fragstore.FragmentStore, reg
 		PageCacheEntries:    c.PageCacheEntries,
 		PageCacheBudget:     c.PageCacheBudget,
 		DepIndexBudget:      c.DepIndexBudget,
+		PlanCache:           c.PlanCache,
+		PlanParallelism:     c.PlanParallelism,
 		PublishInterval:     c.PublishInterval,
 		Registry:            reg,
 		Tracer:              tracer,
@@ -240,8 +251,10 @@ func (c Config) proxyConfig(originURL string, store fragstore.FragmentStore, reg
 // static tier. The keyed-tier subscribers carry the dpc key schema
 // (purge prefixes) and the proxy's dependency index, so fragment
 // invalidations drop only the pages composed from the dead fragment;
-// surgical drops are reported on reg's dpc.pagecache_invalidations
-// counter (reg may be nil). It is the single wiring point shared by
+// surgical drops are reported on reg's dpc.pagecache_invalidations and
+// dpc.static_invalidations counters (reg may be nil). The compiled-plan
+// tier, when mounted, subscribes for plan-scoped flushes and gap
+// recovery. It is the single wiring point shared by
 // System.subscribeTiers, dpcd's /_dpc/invalidate endpoint, and the
 // facade.
 func ProxySubscribers(p *dpc.Proxy, reg *metrics.Registry) []coherency.Subscriber {
@@ -258,7 +271,17 @@ func ProxySubscribers(p *dpc.Proxy, reg *metrics.Registry) []coherency.Subscribe
 	if static := p.Static(); static != nil {
 		sub := coherency.NewStaticSubscriber(static.Cache, p.DepIndex())
 		sub.KeyPrefix = dpc.StaticKeyPrefix
+		if reg != nil {
+			dropped := reg.Counter("dpc.static_invalidations")
+			sub.OnDrop = func(n int) { dropped.Add(int64(n)) }
+		}
 		subs = append(subs, sub)
+	}
+	if plans := p.Plans(); plans != nil {
+		// The plan tier ignores fragment events and purges (plans are
+		// content-hash keyed and hold no fragment bytes); it subscribes for
+		// "plan"-scoped flushes and gap recovery.
+		subs = append(subs, coherency.NewPlanSubscriber(plans.Store()))
 	}
 	return subs
 }

@@ -1,12 +1,13 @@
 package dpc
 
 import (
-	"errors"
+	"bytes"
 	"fmt"
 	"io"
 
 	"dpcache/internal/fragstore"
 	"dpcache/internal/tmpl"
+	"dpcache/internal/tmplplan"
 	"dpcache/internal/trace"
 )
 
@@ -14,44 +15,27 @@ import (
 // are empty or (in strict mode) carry a different generation than the
 // template expected. The proxy recovers by re-fetching the page with the
 // bypass header, reporting the stale references so the BEM invalidates
-// them (see AssembleStats.Stale).
-var ErrStale = errors.New("dpc: template references stale or unset slot")
+// them (see AssembleStats.Stale). It is the same value both execution
+// paths return — the streaming interpreter here and the compiled executor
+// in internal/tmplplan.
+var ErrStale = tmplplan.ErrStale
 
 // StaleRef identifies a slot reference that failed during assembly.
-type StaleRef struct {
-	Key uint32
-	Gen uint32
-}
+type StaleRef = tmplplan.Ref
 
-// AssembleStats reports what one assembly consumed and produced.
-type AssembleStats struct {
-	// TemplateBytes is the template stream size — the bytes that crossed
-	// the origin↔DPC link and were scanned for tags (the z·B_C term of
-	// the paper's scan-cost analysis).
-	TemplateBytes int64
-	// PageBytes is the assembled page size delivered to the client.
-	PageBytes int64
-	Gets      int
-	Sets      int
-	Literals  int
-	// Stale lists GET references that could not be satisfied. When
-	// non-empty the page output is unusable and Assemble returns
-	// ErrStale — but the template was still consumed to the end, so
-	// every SET it carried has been applied to the store. (Aborting at
-	// the first bad GET would discard those SETs while the directory
-	// already believes them cached, wedging the fragments into a
-	// permanent fallback loop.)
-	Stale []StaleRef
-	// Refs lists the unique fragment references (SETs and satisfied
-	// GETs) whose content flowed into the page — the dependency edges
-	// the page-tier invalidation fabric records, so a later
-	// invalidation of any of them can drop the cached page.
-	Refs []StaleRef
-}
+// AssembleStats reports what one assembly consumed and produced. See
+// tmplplan.Stats for field semantics; the interpreter and the compiled
+// executor fill it identically.
+type AssembleStats = tmplplan.Stats
 
-// Assembler splices fragments into page layouts. It is stateless apart
-// from the store reference and safe for concurrent use. It works against
-// any fragstore backend.
+// Assembler splices fragments into page layouts — the streaming
+// interpreter: it re-decodes the template per request and resolves GETs
+// strictly in stream order. It remains the conformance oracle for the
+// compiled plan path and the fallback for templates the plan path cannot
+// take (oversized bodies, corrupt streams whose partial-SET semantics
+// require streaming consumption). It is stateless apart from the store
+// reference and safe for concurrent use. It works against any fragstore
+// backend.
 type Assembler struct {
 	store  fragstore.FragmentStore
 	codec  tmpl.Codec
@@ -88,24 +72,14 @@ func (a *Assembler) Assemble(w io.Writer, r io.Reader) (AssembleStats, error) {
 	return a.AssembleTrace(w, r, nil)
 }
 
-// AssembleTrace is Assemble with decision provenance: each GET
+// AssembleTrace is Assemble with decision provenance: each GET or include
 // instruction resolves under its own child span of sp, annotated with the
-// fragment reference and whether the store answered (the per-fragment
-// spans of a request trace). A nil sp records nothing and allocates
-// nothing extra.
+// interned fragment reference and whether the store answered (the
+// per-fragment spans of a request trace). A nil sp records nothing and
+// allocates nothing extra.
 func (a *Assembler) AssembleTrace(w io.Writer, r io.Reader, sp *trace.Span) (AssembleStats, error) {
 	var st AssembleStats
-	var seen map[uint64]struct{} // lazily allocated ref dedup
-	addRef := func(key, gen uint32) {
-		id := uint64(key)<<32 | uint64(gen)
-		if seen == nil {
-			seen = make(map[uint64]struct{}, 8)
-		} else if _, dup := seen[id]; dup {
-			return
-		}
-		seen[id] = struct{}{}
-		st.Refs = append(st.Refs, StaleRef{Key: key, Gen: gen})
-	}
+	x := &interpState{a: a, w: w, st: &st}
 	cr := &countingReader{r: r}
 	dec := a.codec.NewDecoder(cr)
 	for {
@@ -123,64 +97,138 @@ func (a *Assembler) AssembleTrace(w io.Writer, r io.Reader, sp *trace.Span) (Ass
 			st.TemplateBytes = cr.n
 			return st, fmt.Errorf("dpc: decoding template: %w", err)
 		}
-		doomed := len(st.Stale) > 0
-		switch in.Op {
-		case tmpl.OpLiteral:
-			st.Literals++
-			if doomed {
-				continue
-			}
-			n, err := w.Write(in.Data)
-			st.PageBytes += int64(n)
-			if err != nil {
-				return st, err
-			}
-		case tmpl.OpSet:
-			st.Sets++
-			if err := a.store.Set(in.Key, in.Gen, in.Data); err != nil {
-				return st, err
-			}
-			addRef(in.Key, in.Gen)
-			if doomed {
-				continue
-			}
-			n, err := w.Write(in.Data)
-			st.PageBytes += int64(n)
-			if err != nil {
-				return st, err
-			}
-		case tmpl.OpGet:
-			st.Gets++
-			var fsp *trace.Span
-			if sp != nil {
-				fsp = sp.Child("fragment")
-			}
-			data, ok := a.store.Get(in.Key, in.Gen, a.strict)
-			if !ok {
-				if fsp != nil {
-					fsp.Event(trace.KindMiss, "fragment",
-						fmt.Sprintf("%d:%d", in.Key, in.Gen), 0)
-					fsp.Finish()
-				}
-				st.Stale = append(st.Stale, StaleRef{Key: in.Key, Gen: in.Gen})
-				continue
-			}
+		if err := x.step(in, sp, 0); err != nil {
+			return st, err
+		}
+	}
+}
+
+// interpState threads the interpreter's per-run mutable state through
+// include recursion.
+type interpState struct {
+	a    *Assembler
+	w    io.Writer
+	st   *AssembleStats
+	seen map[uint64]struct{} // lazily allocated ref dedup
+}
+
+func (x *interpState) addRef(key, gen uint32) {
+	id := uint64(key)<<32 | uint64(gen)
+	if x.seen == nil {
+		x.seen = make(map[uint64]struct{}, 8)
+	} else if _, dup := x.seen[id]; dup {
+		return
+	}
+	x.seen[id] = struct{}{}
+	x.st.Refs = append(x.st.Refs, StaleRef{Key: key, Gen: gen})
+}
+
+// step executes one decoded instruction. Nested includes recurse with the
+// include's span as the parent, sharing the run's stats and dedup state,
+// so staleness doom and SET application span the whole page.
+func (x *interpState) step(in tmpl.Instruction, sp *trace.Span, depth int) error {
+	st := x.st
+	doomed := len(st.Stale) > 0
+	switch in.Op {
+	case tmpl.OpLiteral:
+		st.Literals++
+		if doomed {
+			return nil
+		}
+		n, err := x.w.Write(in.Data)
+		st.PageBytes += int64(n)
+		return err
+	case tmpl.OpSet:
+		st.Sets++
+		if err := x.a.store.Set(in.Key, in.Gen, in.Data); err != nil {
+			return err
+		}
+		x.addRef(in.Key, in.Gen)
+		if doomed {
+			return nil
+		}
+		n, err := x.w.Write(in.Data)
+		st.PageBytes += int64(n)
+		return err
+	case tmpl.OpGet:
+		st.Gets++
+		var fsp *trace.Span
+		if sp != nil {
+			fsp = sp.Child("fragment")
+		}
+		data, ok := x.a.store.Get(in.Key, in.Gen, x.a.strict)
+		if !ok {
 			if fsp != nil {
-				fsp.Event(trace.KindHit, "fragment",
-					fmt.Sprintf("%d:%d", in.Key, in.Gen), int64(len(data)))
+				fsp.Event(trace.KindMiss, "fragment",
+					tmplplan.RefString(in.Key, in.Gen), 0)
 				fsp.Finish()
 			}
-			addRef(in.Key, in.Gen)
-			if doomed {
-				continue
-			}
-			n, err := w.Write(data)
-			st.PageBytes += int64(n)
-			if err != nil {
-				return st, err
-			}
-		default:
-			return st, fmt.Errorf("dpc: unexpected op %v in template", in.Op)
+			st.Stale = append(st.Stale, StaleRef{Key: in.Key, Gen: in.Gen})
+			return nil
 		}
+		if fsp != nil {
+			fsp.Event(trace.KindHit, "fragment",
+				tmplplan.RefString(in.Key, in.Gen), int64(len(data)))
+			fsp.Finish()
+		}
+		x.addRef(in.Key, in.Gen)
+		if doomed {
+			return nil
+		}
+		n, err := x.w.Write(data)
+		st.PageBytes += int64(n)
+		return err
+	case tmpl.OpInclude:
+		st.Includes++
+		if depth >= tmplplan.MaxIncludeDepth {
+			return fmt.Errorf("dpc: include depth exceeds %d (key %d gen %d)",
+				tmplplan.MaxIncludeDepth, in.Key, in.Gen)
+		}
+		var fsp *trace.Span
+		if sp != nil {
+			fsp = sp.Child("include")
+		}
+		data, ok := x.a.store.Get(in.Key, in.Gen, x.a.strict)
+		if !ok {
+			if fsp != nil {
+				fsp.Event(trace.KindMiss, "fragment",
+					tmplplan.RefString(in.Key, in.Gen), 0)
+				fsp.Finish()
+			}
+			st.Stale = append(st.Stale, StaleRef{Key: in.Key, Gen: in.Gen})
+			return nil
+		}
+		if fsp != nil {
+			fsp.Event(trace.KindHit, "fragment",
+				tmplplan.RefString(in.Key, in.Gen), int64(len(data)))
+		}
+		x.addRef(in.Key, in.Gen)
+		// The nested body is decoded whole before execution (it is already
+		// resident fragment memory, not a stream), so a corrupt nested
+		// template errors out before any of its side effects apply — the
+		// same all-or-nothing the compiled path gets from Compile.
+		// Execution still runs even when the page is doomed: the nested
+		// template's SETs must land in the store like any others.
+		ins, err := tmpl.DecodeAll(x.a.codec, bytes.NewReader(data))
+		if err != nil {
+			if fsp != nil {
+				fsp.Finish()
+			}
+			return fmt.Errorf("dpc: decoding template: %w", err)
+		}
+		for _, sub := range ins {
+			if err := x.step(sub, fsp, depth+1); err != nil {
+				if fsp != nil {
+					fsp.Finish()
+				}
+				return err
+			}
+		}
+		if fsp != nil {
+			fsp.Finish()
+		}
+		return nil
+	default:
+		return fmt.Errorf("dpc: unexpected op %v in template", in.Op)
 	}
 }

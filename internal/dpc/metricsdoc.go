@@ -53,6 +53,8 @@ func MetricCatalog() []MetricDoc {
 		// Static cache tier.
 		{"dpc.static_hits", "counter", "a request was served from the URL-keyed static cache"},
 		{"dpc.static_uncacheable_vary", "counter", "a cacheable response was refused because it varies on a non-allowlisted header"},
+		{"dpc.static_assembled_fills", "counter", "an assembled template page the origin opted in (Cache-Control: max-age) was filed into the static tier with dependency edges"},
+		{"dpc.static_invalidations", "counter", "a static-tier entry was dropped by the invalidation fabric (subscriber drop or in-flight assembled fill unfiled)"},
 		// Whole-page cache tier.
 		{"dpc.pagecache_hits", "counter", "an anonymous GET was served whole from the page tier (X-Cache: PAGE)"},
 		{"dpc.pagecache_misses", "counter", "an anonymous GET missed the page tier and continued down the pipeline"},
@@ -61,6 +63,13 @@ func MetricCatalog() []MetricDoc {
 		{"dpc.pagecache_uncacheable", "counter", "a captured response was not cacheable (non-200, over the capture bound, no-store/private, or Set-Cookie)"},
 		{"dpc.pagecache_304s", "counter", "a page-tier hit with a matching If-None-Match was answered 304 with no body"},
 		{"dpc.pagecache_invalidations", "counter", "a page-tier entry was dropped by the invalidation fabric (subscriber drop or in-flight fill unfiled)"},
+		// Compiled-template plan cache (populated only when
+		// Config.PlanCache is on; nested-include plan lookups are counted
+		// in the cache's own /_dpc/stats snapshot, not here).
+		{"dpc.plancache_hits", "counter", "a template body hashed to an already-compiled plan"},
+		{"dpc.plancache_misses", "counter", "a template body had no cached plan (compiled fresh, or fell back to the interpreter on a corrupt template)"},
+		{"dpc.plancache_compiles", "counter", "a template was compiled into a new cached plan"},
+		{"dpc.plancache_parallel_gets", "counter", "fragment GETs resolved through the plan executor's parallel prefetch fan-out"},
 		// Dependency index (fragment → page-key edges; refreshed like
 		// dpc.store.* by the background publisher and /_dpc/stats).
 		{"dpc.depindex_fragments", "gauge", "fragments with recorded dependency edges"},

@@ -8,7 +8,7 @@ import (
 	"strings"
 	"time"
 
-	"dpcache/internal/depindex"
+	"dpcache/internal/tmplplan"
 	"dpcache/internal/trace"
 )
 
@@ -351,14 +351,17 @@ func (c *pageCapture) Flush() {
 }
 
 // refIDs converts assembler fragment references into the dependency
-// index's ref strings.
+// index's ref strings, through the interner so a hot page's refs resolve
+// to the same strings every request instead of reformatting
+// (tmplplan.RefString and depindex.Ref produce the identical "key:gen"
+// form; asserted by TestRefStringMatchesDepindex).
 func refIDs(refs []StaleRef) []string {
 	if len(refs) == 0 {
 		return nil
 	}
 	out := make([]string, len(refs))
 	for i, r := range refs {
-		out[i] = depindex.Ref(r.Key, r.Gen)
+		out[i] = tmplplan.RefString(r.Key, r.Gen)
 	}
 	return out
 }

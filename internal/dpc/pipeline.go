@@ -535,6 +535,9 @@ func (p *Proxy) recordAssembleStats(st AssembleStats) {
 	p.reg.Counter("dpc.page_bytes").Add(st.PageBytes)
 	p.reg.Counter("dpc.gets").Add(int64(st.Gets))
 	p.reg.Counter("dpc.sets").Add(int64(st.Sets))
+	if st.ParallelGets > 0 {
+		p.reg.Counter("dpc.plancache_parallel_gets").Add(int64(st.ParallelGets))
+	}
 }
 
 func (p *Proxy) stageAssemble(rs *reqState) (stageOutcome, error) {
@@ -543,8 +546,15 @@ func (p *Proxy) stageAssemble(rs *reqState) (stageOutcome, error) {
 	defer resp.Body.Close()
 
 	if !p.cfg.Stream {
+		// Snapshot the dependency index's flush generation before assembly
+		// reads any fragment, so an assembled-static fill can detect a
+		// fabric flush racing this response (see fillStaticAssembled).
+		var staticEpoch uint64
+		if p.depix != nil {
+			staticEpoch = p.depix.Epoch()
+		}
 		var page bytes.Buffer
-		stats, err := p.asm.AssembleTrace(&page, resp.Body, rs.span)
+		stats, err := p.assembleTrace(&page, resp.Body, rs.span)
 		p.recordAssembleStats(stats)
 		if err != nil {
 			if errors.Is(err, ErrStale) {
@@ -558,6 +568,7 @@ func (p *Proxy) stageAssemble(rs *reqState) (stageOutcome, error) {
 		if rs.pageKey != "" {
 			rs.depRefs = refIDs(stats.Refs)
 		}
+		p.fillStaticAssembled(rs, resp, stats.Refs, staticEpoch)
 		return stageRespond, nil
 	}
 
@@ -568,7 +579,7 @@ func (p *Proxy) stageAssemble(rs *reqState) (stageOutcome, error) {
 	// broadcast so followers stream it live.
 	sw := newSpoolWriter(rs, p.spool)
 	defer sw.release()
-	stats, err := p.asm.AssembleTrace(sw, resp.Body, rs.span)
+	stats, err := p.assembleTrace(sw, resp.Body, rs.span)
 	p.recordAssembleStats(stats)
 	if err != nil {
 		if errors.Is(err, ErrStale) && !sw.committed {
@@ -601,6 +612,56 @@ func (p *Proxy) stageAssemble(rs *reqState) (stageOutcome, error) {
 	p.reg.Counter("dpc.assembled").Inc()
 	p.reg.Counter("dpc.streamed").Inc()
 	return stageRespond, nil
+}
+
+// fillStaticAssembled files a buffered assembled page into the static
+// tier when the origin explicitly opted the template's result in
+// (Cache-Control: max-age on the template response; see
+// cacheableAssembled) and the request carries no identity the page could
+// have been personalized on. The paper's rule that dynamic pages are
+// never URL-keyed stays the default — this path exists only for origins
+// that declare an assembled page cacheable. Unlike a plain static fill
+// the entry is fragment-composed, so its dependency edges are recorded
+// under the static key and the static-tier subscriber drops it the
+// moment a source fragment dies. epoch is the dependency index's flush
+// generation snapshotted before assembly read any fragment; a flush in
+// between voids the fill. Streaming assembly never files here — the
+// assembled bytes are not retained.
+func (p *Proxy) fillStaticAssembled(rs *reqState, resp *http.Response, refs []StaleRef, epoch uint64) {
+	if p.static == nil || rs.r.Method != http.MethodGet || !anonymousSession(rs.r) {
+		return
+	}
+	ttl, varied := cacheableAssembled(resp)
+	if ttl <= 0 {
+		if varied {
+			p.reg.Counter("dpc.static_uncacheable_vary").Inc()
+		}
+		return
+	}
+	key := staticKey(rs.r)
+	ids := refIDs(refs)
+	if p.depix != nil {
+		// Record the edges before the entry becomes servable, so an
+		// invalidation landing right after the Put finds them and deletes
+		// the entry.
+		for _, ref := range ids {
+			p.depix.Record(ref, key)
+		}
+	}
+	p.static.Put(key, rs.body, rs.ctype, ttl)
+	if p.depix != nil && (p.depix.AnyInvalid(ids) || p.depix.Epoch() != epoch) {
+		// Fill/invalidate race, exactly as in fillPageCache: a source
+		// fragment died (or the tier flushed) while this page was being
+		// assembled. The subscriber's Delete may have run before our Put
+		// and missed it; its tombstone/epoch cannot have — unfile.
+		p.static.Delete(key)
+		p.reg.Counter("dpc.static_invalidations").Inc()
+		rs.span.Event(trace.KindInvalidated, "static", "fill-race", 0)
+		return
+	}
+	rs.staticFilled = true
+	p.reg.Counter("dpc.static_assembled_fills").Inc()
+	rs.span.Event(trace.KindFill, "static", "assembled", int64(len(rs.body)))
 }
 
 // reportStaleAsync delivers a stale report to the BEM when no bypass fetch
@@ -662,7 +723,7 @@ func (p *Proxy) stageStaleFallback(rs *reqState) (stageOutcome, error) {
 				name, p.asm.codec.Name())
 		}
 		var page bytes.Buffer
-		stats, err := p.asm.Assemble(&page, resp.Body)
+		stats, err := p.assembleTrace(&page, resp.Body, rs.span)
 		p.recordAssembleStats(stats)
 		if err != nil {
 			return stageNext, err

@@ -1,0 +1,383 @@
+package dpc
+
+// Conformance suite for the compiled plan path: internal/tmplplan must be
+// byte-identical and stats-identical to the streaming interpreter (the
+// oracle in assembler.go) for every template shape, across both codecs,
+// sequentially and under parallel prefetch.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dpcache/internal/tmpl"
+	"dpcache/internal/tmplplan"
+)
+
+// seedFrag is a fragment pre-loaded into the store before a conformance run.
+type seedFrag struct {
+	key, gen uint32
+	content  []byte
+}
+
+// confCase is one golden template: instructions plus the store state it
+// runs against. Nested include bodies are encoded per codec via nest.
+type confCase struct {
+	name string
+	ins  []tmpl.Instruction
+	seed []seedFrag
+	// nest maps an include key to the instructions of the nested
+	// template stored under it (encoded per codec at seed time).
+	nest map[uint32][]tmpl.Instruction
+	// checkSets lists key/gen pairs whose post-run store content must
+	// match between the two paths (SET side effects, incl. doomed runs).
+	checkSets []StaleRef
+}
+
+func conformanceCases() []confCase {
+	big := bytes.Repeat([]byte("x"), 4096)
+	return []confCase{
+		{name: "empty"},
+		{name: "literal-only", ins: []tmpl.Instruction{
+			{Op: tmpl.OpLiteral, Data: []byte("<html>static</html>")},
+		}},
+		{name: "set-then-get", ins: []tmpl.Instruction{
+			{Op: tmpl.OpLiteral, Data: []byte("<a>")},
+			{Op: tmpl.OpSet, Key: 3, Gen: 9, Data: []byte("FRAG")},
+			{Op: tmpl.OpGet, Key: 3, Gen: 9},
+			{Op: tmpl.OpLiteral, Data: []byte("</a>")},
+		}, checkSets: []StaleRef{{Key: 3, Gen: 9}}},
+		{name: "independent-gets", ins: []tmpl.Instruction{
+			{Op: tmpl.OpGet, Key: 1, Gen: 1},
+			{Op: tmpl.OpLiteral, Data: []byte("|")},
+			{Op: tmpl.OpGet, Key: 2, Gen: 1},
+			{Op: tmpl.OpLiteral, Data: []byte("|")},
+			{Op: tmpl.OpGet, Key: 3, Gen: 1},
+			{Op: tmpl.OpGet, Key: 4, Gen: 1},
+			{Op: tmpl.OpGet, Key: 5, Gen: 1},
+			{Op: tmpl.OpGet, Key: 1, Gen: 1}, // dup ref dedups
+		}, seed: []seedFrag{
+			{1, 1, []byte("one")}, {2, 1, []byte("two")}, {3, 1, []byte("three")},
+			{4, 1, big}, {5, 1, []byte("five")},
+		}},
+		{name: "stale-dooms-but-sets-land", ins: []tmpl.Instruction{
+			{Op: tmpl.OpLiteral, Data: []byte("head")},
+			{Op: tmpl.OpGet, Key: 9, Gen: 3}, // unset: first stale
+			{Op: tmpl.OpLiteral, Data: []byte("never")},
+			{Op: tmpl.OpSet, Key: 5, Gen: 1, Data: []byte("landed")},
+			{Op: tmpl.OpGet, Key: 8, Gen: 1}, // second stale
+		}, checkSets: []StaleRef{{Key: 5, Gen: 1}}},
+		{name: "strict-gen-mismatch", ins: []tmpl.Instruction{
+			{Op: tmpl.OpGet, Key: 2, Gen: 7},
+		}, seed: []seedFrag{{2, 6, []byte("old-gen")}}},
+		{name: "nested-includes", ins: []tmpl.Instruction{
+			{Op: tmpl.OpLiteral, Data: []byte("A")},
+			{Op: tmpl.OpInclude, Key: 20, Gen: 1},
+			{Op: tmpl.OpGet, Key: 1, Gen: 1},
+		}, seed: []seedFrag{{1, 1, []byte("leaf")}},
+			nest: map[uint32][]tmpl.Instruction{
+				20: {
+					{Op: tmpl.OpLiteral, Data: []byte("(")},
+					{Op: tmpl.OpInclude, Key: 21, Gen: 1},
+					{Op: tmpl.OpSet, Key: 6, Gen: 2, Data: []byte("nested-set")},
+					{Op: tmpl.OpLiteral, Data: []byte(")")},
+				},
+				21: {
+					{Op: tmpl.OpGet, Key: 1, Gen: 1},
+				},
+			}, checkSets: []StaleRef{{Key: 6, Gen: 2}}},
+		{name: "include-stale", ins: []tmpl.Instruction{
+			{Op: tmpl.OpLiteral, Data: []byte("A")},
+			{Op: tmpl.OpInclude, Key: 20, Gen: 5}, // unset include slot
+			{Op: tmpl.OpSet, Key: 7, Gen: 1, Data: []byte("after")},
+		}, checkSets: []StaleRef{{Key: 7, Gen: 1}}},
+		{name: "include-doomed-sets-still-land", ins: []tmpl.Instruction{
+			{Op: tmpl.OpGet, Key: 9, Gen: 9}, // dooms the page up front
+			{Op: tmpl.OpInclude, Key: 20, Gen: 1},
+		}, nest: map[uint32][]tmpl.Instruction{
+			20: {{Op: tmpl.OpSet, Key: 8, Gen: 4, Data: []byte("doomed-include-set")}},
+		}, checkSets: []StaleRef{{Key: 8, Gen: 4}}},
+	}
+}
+
+func seedConformance(t *testing.T, s *Store, codec tmpl.Codec, tc confCase) {
+	t.Helper()
+	for _, f := range tc.seed {
+		if err := s.Set(f.key, f.gen, f.content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for key, ins := range tc.nest {
+		// The include gen is whatever the template references; store
+		// them under every gen the case uses (strict lookups must hit).
+		for _, in := range append(append([]tmpl.Instruction{}, tc.ins...), flattenNest(tc.nest)...) {
+			if in.Op == tmpl.OpInclude && in.Key == key {
+				if err := s.Set(key, in.Gen, encodeTemplate(t, codec, ins)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func flattenNest(nest map[uint32][]tmpl.Instruction) []tmpl.Instruction {
+	var out []tmpl.Instruction
+	for _, ins := range nest {
+		out = append(out, ins...)
+	}
+	return out
+}
+
+func TestPlanConformance(t *testing.T) {
+	for _, codec := range []tmpl.Codec{tmpl.Binary{}, tmpl.Text{}} {
+		for _, parallelism := range []int{1, 8} {
+			for _, tc := range conformanceCases() {
+				name := fmt.Sprintf("%s/par%d/%s", codec.Name(), parallelism, tc.name)
+				t.Run(name, func(t *testing.T) {
+					body := encodeTemplate(t, codec, tc.ins)
+
+					// Oracle: the streaming interpreter on its own store.
+					oracleStore, _ := NewStore(64)
+					seedConformance(t, oracleStore, codec, tc)
+					asm := NewAssembler(oracleStore, codec, true)
+					var wantPage bytes.Buffer
+					wantStats, wantErr := asm.Assemble(&wantPage, bytes.NewReader(body))
+
+					// Compiled path on an identically seeded store, plans
+					// resolved through the cache (as the proxy runs it).
+					planStore, _ := NewStore(64)
+					seedConformance(t, planStore, codec, tc)
+					cache, err := tmplplan.NewCache(codec, tmplplan.CacheConfig{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					ex := &tmplplan.Exec{
+						Store: planStore, Strict: true, Codec: codec,
+						Plans: cache, Parallelism: parallelism, MinParallelGets: 2,
+					}
+					plan, _, err := cache.Get(body)
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					var gotPage bytes.Buffer
+					gotStats, gotErr := ex.Run(plan, &gotPage, nil)
+
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("errors diverge: interpreter=%v compiled=%v", wantErr, gotErr)
+					}
+					if wantErr != nil && wantErr.Error() != gotErr.Error() {
+						t.Fatalf("error text diverges:\ninterpreter %q\ncompiled    %q", wantErr, gotErr)
+					}
+					if !bytes.Equal(wantPage.Bytes(), gotPage.Bytes()) {
+						t.Fatalf("pages diverge:\ninterpreter %q\ncompiled    %q", wantPage.String(), gotPage.String())
+					}
+					gotStats.ParallelGets = 0 // the one field allowed to differ
+					if fmt.Sprintf("%+v", wantStats) != fmt.Sprintf("%+v", gotStats) {
+						t.Fatalf("stats diverge:\ninterpreter %+v\ncompiled    %+v", wantStats, gotStats)
+					}
+					for _, ref := range tc.checkSets {
+						w, wok := oracleStore.Get(ref.Key, ref.Gen, true)
+						g, gok := planStore.Get(ref.Key, ref.Gen, true)
+						if wok != gok || !bytes.Equal(w, g) {
+							t.Fatalf("SET side effects diverge at %d:%d: interpreter (%q,%v) compiled (%q,%v)",
+								ref.Key, ref.Gen, w, wok, g, gok)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// The plan path must be invisible end to end: a proxy with the plan cache
+// enabled serves byte-identical pages, repeat templates hit the cache, and
+// the plancache counters and /_dpc/stats section move.
+func TestPlanCachePipeline(t *testing.T) {
+	tmplBody := func() []byte {
+		var buf bytes.Buffer
+		enc := tmpl.Binary{}.NewEncoder(&buf)
+		_ = enc.Literal([]byte("<html>"))
+		_ = enc.Set(1, 1, []byte("planned page"))
+		_ = enc.Get(1, 1)
+		_ = enc.Literal([]byte("</html>"))
+		_ = enc.Flush()
+		return buf.Bytes()
+	}()
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-DPC-Template", "binary")
+		_, _ = w.Write(tmplBody)
+	}))
+	defer origin.Close()
+
+	p := newTestProxy(t, origin.URL, func(c *Config) {
+		c.PlanCache = true
+		c.Stream = false
+	})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	const want = "<html>planned pageplanned page</html>"
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/page")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != want {
+			t.Fatalf("request %d: body = %q, want %q", i, body, want)
+		}
+	}
+	snap := p.Registry().Snapshot()
+	if snap["dpc.plancache_misses"] != 1 || snap["dpc.plancache_compiles"] != 1 {
+		t.Fatalf("misses=%d compiles=%d, want 1/1", snap["dpc.plancache_misses"], snap["dpc.plancache_compiles"])
+	}
+	if snap["dpc.plancache_hits"] != 2 {
+		t.Fatalf("hits = %d, want 2", snap["dpc.plancache_hits"])
+	}
+	if p.Plans() == nil {
+		t.Fatal("Plans() nil with PlanCache on")
+	}
+	if st := p.Plans().Stats(); st.Resident != 1 || st.Compiles != 1 {
+		t.Fatalf("plan cache stats = %+v", st)
+	}
+
+	// The stats endpoint serves the plancache section.
+	resp, err := http.Get(ts.URL + "/_dpc/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(stats), `"plancache"`) {
+		t.Fatal("/_dpc/stats missing plancache section")
+	}
+}
+
+// A HEAD request for a template response must produce an empty body with
+// the same headers on the plan path — assembly still runs (SETs land).
+func TestPlanCacheHeadEmptyBody(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		enc := tmpl.Binary{}.NewEncoder(&buf)
+		_ = enc.Set(2, 5, []byte("head-set"))
+		_ = enc.Flush()
+		w.Header().Set("X-DPC-Template", "binary")
+		if r.Method != http.MethodHead {
+			_, _ = w.Write(buf.Bytes())
+		}
+	}))
+	defer origin.Close()
+	p := newTestProxy(t, origin.URL, func(c *Config) {
+		c.PlanCache = true
+		c.Stream = false
+	})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	resp, err := http.Head(ts.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Fatalf("HEAD: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+// Streams and oversized or corrupt templates fall back to the streaming
+// interpreter; the page is identical to a plan-cache-off proxy's.
+func TestPlanCacheFallbackCorrupt(t *testing.T) {
+	// A valid binary prefix (the SET lands) followed by garbage: the
+	// interpreter consumes the prefix and reports a decode error; the
+	// plan path must do exactly the same through its fallback.
+	var buf bytes.Buffer
+	enc := tmpl.Binary{}.NewEncoder(&buf)
+	_ = enc.Set(4, 2, []byte("prefix-set"))
+	_ = enc.Flush()
+	corrupt := append(buf.Bytes(), 0xFF, 0xFE, 0xFD)
+
+	run := func(planCache bool) (int, string, bool) {
+		origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("X-DPC-Template", "binary")
+			_, _ = w.Write(corrupt)
+		}))
+		defer origin.Close()
+		p := newTestProxy(t, origin.URL, func(c *Config) {
+			c.PlanCache = planCache
+			c.Stream = false
+		})
+		ts := httptest.NewServer(p)
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/page")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		_, ok := p.Store().Get(4, 2, true)
+		return resp.StatusCode, string(body), ok
+	}
+	offStatus, offBody, offSet := run(false)
+	onStatus, onBody, onSet := run(true)
+	if offStatus != onStatus || offBody != onBody || offSet != onSet {
+		t.Fatalf("fallback diverges: off=(%d,%q,set=%v) on=(%d,%q,set=%v)",
+			offStatus, offBody, offSet, onStatus, onBody, onSet)
+	}
+	if !onSet {
+		t.Fatal("prefix SET did not land before the corrupt tail")
+	}
+}
+
+// Enough independent GETs trigger the parallel prefetch, and the
+// dpc.plancache_parallel_gets counter records them.
+func TestPlanCacheParallelGetsCounter(t *testing.T) {
+	var first bytes.Buffer
+	enc := tmpl.Binary{}.NewEncoder(&first)
+	for k := uint32(1); k <= 6; k++ {
+		_ = enc.Set(k, 1, []byte(fmt.Sprintf("f%d", k)))
+	}
+	_ = enc.Flush()
+	var second bytes.Buffer
+	enc = tmpl.Binary{}.NewEncoder(&second)
+	for k := uint32(1); k <= 6; k++ {
+		_ = enc.Get(k, 1)
+	}
+	_ = enc.Flush()
+
+	var phase int
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-DPC-Template", "binary")
+		if r.URL.Path == "/seed" {
+			_, _ = w.Write(first.Bytes())
+			return
+		}
+		phase++
+		_, _ = w.Write(second.Bytes())
+	}))
+	defer origin.Close()
+	p := newTestProxy(t, origin.URL, func(c *Config) {
+		c.PlanCache = true
+		c.PlanParallelism = 4
+		c.Stream = false
+	})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	for _, path := range []string{"/seed", "/page"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if got := p.Registry().Snapshot()["dpc.plancache_parallel_gets"]; got != 6 {
+		t.Fatalf("dpc.plancache_parallel_gets = %d, want 6", got)
+	}
+}

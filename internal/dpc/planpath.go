@@ -1,0 +1,79 @@
+package dpc
+
+import (
+	"bytes"
+	"io"
+
+	"dpcache/internal/trace"
+)
+
+// The plan path is the assemble stage's fast lane: instead of re-decoding
+// the template stream per request (the interpreter in assembler.go), the
+// template body is buffered, hashed, and looked up in a compiled-plan
+// cache (internal/tmplplan). A hit executes an immutable operator program
+// — literal bytes retained once and emitted zero-copy, independent
+// fragment GETs prefetched by a bounded worker pool — and a miss compiles
+// once and caches for every later request carrying the same bytes. The
+// interpreter remains both the conformance oracle (the compiled executor
+// must be byte- and stats-identical; see planconform_test.go) and the
+// runtime fallback for the cases the plan path refuses: oversized bodies
+// and corrupt streams, whose partial-consumption semantics require
+// decoding in stream order.
+
+// planMaxTemplate bounds the template bytes buffered for plan-cache
+// hashing. Larger templates are handed to the streaming interpreter
+// instead of being held resident — the same ceiling the request-body
+// replay buffer uses.
+const planMaxTemplate = 8 << 20
+
+// Plan-cache defaults (overridden by the PlanCache* config knobs).
+const (
+	defaultPlanEntries     = 512
+	defaultPlanBudget      = 32 << 20
+	defaultPlanParallelism = 4
+)
+
+// errReader replays a terminal read error so a fallback interpreter run
+// over already-buffered bytes still observes the stream failing at the
+// same point the plan path saw it.
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }
+
+// assembleTrace is the single assemble chokepoint: every template
+// assembly — buffered, streaming, and stale-fallback — runs through it.
+// With the plan cache disabled it is exactly the interpreter; with it
+// enabled the compiled path runs whenever the template can be buffered
+// and compiled, falling back to the interpreter otherwise with identical
+// output and error semantics either way.
+func (p *Proxy) assembleTrace(w io.Writer, body io.Reader, sp *trace.Span) (AssembleStats, error) {
+	if p.plans == nil {
+		return p.asm.AssembleTrace(w, body, sp)
+	}
+	buf, err := io.ReadAll(io.LimitReader(body, planMaxTemplate+1))
+	if err != nil {
+		// The origin stream died mid-template. Replay the prefix through
+		// the interpreter so its SETs still land, then surface the read
+		// error exactly where a streaming decode would have hit it.
+		return p.asm.AssembleTrace(w, io.MultiReader(bytes.NewReader(buf), errReader{err}), sp)
+	}
+	if len(buf) > planMaxTemplate {
+		// Oversized template: stream it rather than holding it resident.
+		return p.asm.AssembleTrace(w, io.MultiReader(bytes.NewReader(buf), body), sp)
+	}
+	plan, hit, err := p.plans.Get(buf)
+	if err != nil {
+		// Corrupt template: the interpreter over the buffered bytes
+		// reproduces the exact partial-consumption semantics (the prefix's
+		// SETs apply, then the decode error).
+		p.reg.Counter("dpc.plancache_misses").Inc()
+		return p.asm.AssembleTrace(w, bytes.NewReader(buf), sp)
+	}
+	if hit {
+		p.reg.Counter("dpc.plancache_hits").Inc()
+	} else {
+		p.reg.Counter("dpc.plancache_misses").Inc()
+		p.reg.Counter("dpc.plancache_compiles").Inc()
+	}
+	return p.planExec.Run(plan, w, sp)
+}

@@ -16,6 +16,7 @@ import (
 	"dpcache/internal/metrics"
 	"dpcache/internal/pagecache"
 	"dpcache/internal/tmpl"
+	"dpcache/internal/tmplplan"
 	"dpcache/internal/trace"
 )
 
@@ -107,6 +108,24 @@ type Config struct {
 	PageCacheBudget int64
 	// PageClock overrides the page cache's expiry clock (tests).
 	PageClock clock.Clock
+	// PlanCache compiles each distinct template body into an immutable
+	// operator program, cached by content hash (internal/tmplplan), so
+	// repeat assemblies skip the per-request decode and resolve
+	// independent fragment GETs with a bounded parallel prefetch. The
+	// streaming interpreter remains the fallback for oversized or corrupt
+	// templates; output bytes and error semantics are identical on both
+	// paths. Content hashing makes origin redeploys miss naturally, and
+	// the coherency fabric's "plan" scope flushes the tier explicitly.
+	PlanCache bool
+	// PlanCacheEntries bounds resident compiled plans (0 selects 512).
+	PlanCacheEntries int
+	// PlanCacheBudget bounds the summed retained footprint of resident
+	// plans (0 selects 32 MiB).
+	PlanCacheBudget int64
+	// PlanParallelism bounds the worker fan-out resolving a plan's
+	// independent fragment GETs (0 selects 4; 1 resolves everything
+	// sequentially in walk order).
+	PlanParallelism int
 	// DepIndexBudget bounds the dependency index's retained edge bytes
 	// (0 selects 1 MiB). The index records which fragments flowed into
 	// which page-tier entries so the coherency fabric can invalidate
@@ -140,15 +159,17 @@ type Config struct {
 // origin, stores fragments, and assembles pages. Requests flow through an
 // explicit stage pipeline (see pipeline.go).
 type Proxy struct {
-	cfg     Config
-	store   fragstore.FragmentStore
-	asm     *Assembler
-	static  *StaticCache     // nil when disabled
-	pages   *pagecache.Cache // nil when disabled
-	depix   *depindex.Index  // nil unless a keyed tier exists
-	pageTTL time.Duration
-	client  *http.Client
-	reg     *metrics.Registry
+	cfg      Config
+	store    fragstore.FragmentStore
+	asm      *Assembler
+	plans    *tmplplan.Cache  // nil unless Config.PlanCache
+	planExec *tmplplan.Exec   // nil unless Config.PlanCache
+	static   *StaticCache     // nil when disabled
+	pages    *pagecache.Cache // nil when disabled
+	depix    *depindex.Index  // nil unless a keyed tier exists
+	pageTTL  time.Duration
+	client   *http.Client
+	reg      *metrics.Registry
 
 	stages     []*Stage
 	respondIdx int
@@ -236,6 +257,35 @@ func New(cfg Config) (*Proxy, error) {
 		reg:     reg,
 		spool:   spool,
 	}
+	if cfg.PlanCache {
+		entries := cfg.PlanCacheEntries
+		if entries <= 0 {
+			entries = defaultPlanEntries
+		}
+		budget := cfg.PlanCacheBudget
+		if budget <= 0 {
+			budget = defaultPlanBudget
+		}
+		plans, err := tmplplan.NewCache(codec, tmplplan.CacheConfig{
+			MaxEntries: entries,
+			ByteBudget: budget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		par := cfg.PlanParallelism
+		if par <= 0 {
+			par = defaultPlanParallelism
+		}
+		p.plans = plans
+		p.planExec = &tmplplan.Exec{
+			Store:       store,
+			Strict:      cfg.Strict,
+			Codec:       codec,
+			Plans:       plans,
+			Parallelism: par,
+		}
+	}
 	if cfg.Coalesce {
 		p.flights = newFlightGroup(cfg.CoalesceBufferBytes)
 	}
@@ -306,6 +356,11 @@ func (p *Proxy) Close() error {
 	})
 	return nil
 }
+
+// Plans exposes the compiled-template plan cache (nil unless
+// Config.PlanCache). The coherency fabric's plan subscriber drives its
+// backing KeyedStore to flush plans on "plan"-scoped events.
+func (p *Proxy) Plans() *tmplplan.Cache { return p.plans }
 
 // Static exposes the URL-keyed static-content cache (nil when disabled).
 func (p *Proxy) Static() *StaticCache { return p.static }
@@ -432,6 +487,9 @@ func (p *Proxy) initAdmin() {
 				"hits": ps.Hits, "misses": ps.Misses,
 				"evictions": ps.Evictions, "expired": ps.Expired,
 			}
+		}
+		if p.plans != nil {
+			out["plancache"] = p.plans.Stats()
 		}
 		if p.depix != nil {
 			out["depindex"] = p.depix.Stats()

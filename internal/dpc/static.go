@@ -153,6 +153,24 @@ func cacheableStatic(resp *http.Response) (ttl time.Duration, varied bool) {
 	return age, false
 }
 
+// cacheableAssembled reports the TTL an origin granted an *assembled*
+// template page for URL-keyed caching. cacheableStatic refuses template
+// responses as a matter of course — a dynamic page must not be URL-keyed
+// unless the origin says so — and this check is that explicit opt-in: a
+// template response carrying Cache-Control: max-age (and no Vary beyond
+// the allowlist) asks the proxy to serve the assembled result from the
+// static tier for the TTL, with the invalidation fabric dropping the
+// entry early if a source fragment dies (its dependency edges are
+// recorded under the static key; see fillStaticAssembled). varied
+// mirrors cacheableStatic's.
+func cacheableAssembled(resp *http.Response) (ttl time.Duration, varied bool) {
+	age := maxAgeFrom(strings.Join(resp.Header.Values("Cache-Control"), ","))
+	if age > 0 && !varyAllowlisted(resp.Header) {
+		return 0, true
+	}
+	return age, false
+}
+
 // varyAllowlisted reports whether every header named by Vary is one the
 // static tier folds into its key. "Vary: *" is never cacheable.
 func varyAllowlisted(h http.Header) bool {

@@ -186,8 +186,10 @@ func TestPipelineLive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 knob configs + 3 concurrency-sweep rows + 2 invalidation rows.
-	if len(tab.Rows) != 9 {
+	// 4 knob configs + 3 concurrency-sweep rows + 9 assemble rows
+	// (3 fragment counts × interpreter/compiled/compiled-parallel) +
+	// 2 invalidation rows.
+	if len(tab.Rows) != 18 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
 	// Without coalescing every served response costs at least one origin
@@ -209,16 +211,34 @@ func TestPipelineLive(t *testing.T) {
 	if pc, co := cell(t, tab, 3, 1), cell(t, tab, 2, 1); pc >= co {
 		t.Fatalf("pagecache fan-in %v not below coalesce+stream fan-in %v", pc, co)
 	}
+	// The assemble rows hold the plan cache's headline claim: at every
+	// fragment count, a warm compiled plan assembles the page faster
+	// than the per-request interpreter.
+	for i := 0; i < 3; i++ {
+		base := 7 + 3*i
+		interp, err := time.ParseDuration(tab.Rows[base][3])
+		if err != nil {
+			t.Fatalf("assemble interpreter row %d %q: %v", base, tab.Rows[base][3], err)
+		}
+		compiled, err := time.ParseDuration(tab.Rows[base+1][3])
+		if err != nil {
+			t.Fatalf("assemble compiled row %d %q: %v", base+1, tab.Rows[base+1][3], err)
+		}
+		if compiled >= interp {
+			t.Fatalf("%s: compiled %v not faster than interpreter %v",
+				tab.Rows[base][0], compiled, interp)
+		}
+	}
 	// The invalidation rows hold the PR's freshness claim: without the
 	// fabric the page tier serves the dead fragment until its TTL;
 	// with it, freshness returns within one request, not the TTL.
-	ttlWindow, err := time.ParseDuration(tab.Rows[7][5])
+	ttlWindow, err := time.ParseDuration(tab.Rows[16][5])
 	if err != nil {
-		t.Fatalf("ttl-only staleness window %q: %v", tab.Rows[7][5], err)
+		t.Fatalf("ttl-only staleness window %q: %v", tab.Rows[16][5], err)
 	}
-	fabricWindow, err := time.ParseDuration(tab.Rows[8][5])
+	fabricWindow, err := time.ParseDuration(tab.Rows[17][5])
 	if err != nil {
-		t.Fatalf("fabric staleness window %q: %v", tab.Rows[8][5], err)
+		t.Fatalf("fabric staleness window %q: %v", tab.Rows[17][5], err)
 	}
 	if ttlWindow < invalidationTTL/2 {
 		t.Fatalf("ttl-only staleness window %v implausibly short for a %v TTL", ttlWindow, invalidationTTL)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,8 +11,11 @@ import (
 	"time"
 
 	"dpcache/internal/core"
+	"dpcache/internal/dpc"
 	"dpcache/internal/repository"
 	"dpcache/internal/site"
+	"dpcache/internal/tmpl"
+	"dpcache/internal/tmplplan"
 	"dpcache/internal/workload"
 )
 
@@ -77,6 +81,32 @@ func Pipeline(opts Options) (Table, error) {
 			"-",
 		})
 	}
+	// Assemble stage: per-page assembly cost by fragments-per-page,
+	// template interpreter vs the compiled plan cache (warm), sequential
+	// vs parallel fragment resolution. In-process against a resident
+	// store, so it isolates the decode-and-dispatch overhead the plan
+	// cache removes.
+	for _, frags := range []int{4, 16, 64} {
+		for _, m := range []struct {
+			name        string
+			compiled    bool
+			parallelism int
+		}{
+			{"interpreter", false, 0},
+			{"compiled", true, 1},
+			{"compiled par=4", true, 4},
+		} {
+			mean, err := runAssemblePoint(opts, frags, m.compiled, m.parallelism)
+			if err != nil {
+				return t, fmt.Errorf("pipeline assemble f=%d %s: %w", frags, m.name, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("assemble f=%d %s", frags, m.name), "-", "-",
+				mean.Round(10 * time.Nanosecond).String(),
+				"-", "-",
+			})
+		}
+	}
 	// Invalidation: how long a dead fragment's bytes keep being served
 	// from the page tier, with and without the invalidation fabric.
 	for _, inv := range []struct {
@@ -100,8 +130,79 @@ func Pipeline(opts Options) (Table, error) {
 		"burst follower TTFB: mean first-byte latency of followers that join while a leader's fetch of the same page is in flight",
 		"the pagecache row serves anonymous revisits whole from the page tier, so origin fan-in falls below the coalesce-only rows",
 		"@c=N rows sweep offered concurrency with coalesce+stream: deeper bursts collapse more identical fetches per flight",
-		fmt.Sprintf("staleness window: elapsed time a %v-TTL page tier kept serving a dead fragment's bytes after a repository write; the fabric drops the page on the invalidation itself, so its window is one in-flight request, not the TTL", invalidationTTL))
+		fmt.Sprintf("staleness window: elapsed time a %v-TTL page tier kept serving a dead fragment's bytes after a repository write; the fabric drops the page on the invalidation itself, so its window is one in-flight request, not the TTL", invalidationTTL),
+		"assemble rows: in-process mean per-page assembly time (512B fragments, resident store) — the compiled rows run a warm plan cache, so the per-request template decode disappears; par=4 adds the bounded prefetch fan-out, which pays only when fragment reads are slower than goroutine handoff (it loses against a resident in-memory store, as here)")
 	return t, nil
+}
+
+// runAssemblePoint measures mean per-page assembly time for a template of
+// frags GET instructions against a resident store: the interpreter
+// (per-request streaming decode) or the compiled plan path (warm plan
+// cache, optionally with parallel fragment prefetch).
+func runAssemblePoint(opts Options, frags int, compiled bool, parallelism int) (time.Duration, error) {
+	store, err := dpc.NewStore(frags + 1)
+	if err != nil {
+		return 0, err
+	}
+	codec := tmpl.Binary{}
+	content := bytes.Repeat([]byte("f"), 512)
+	var buf bytes.Buffer
+	enc := codec.NewEncoder(&buf)
+	for k := 0; k < frags; k++ {
+		if err := store.Set(uint32(k), 1, content); err != nil {
+			return 0, err
+		}
+		if err := enc.Literal([]byte("<div>")); err != nil {
+			return 0, err
+		}
+		if err := enc.Get(uint32(k), 1); err != nil {
+			return 0, err
+		}
+		if err := enc.Literal([]byte("</div>")); err != nil {
+			return 0, err
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return 0, err
+	}
+	body := buf.Bytes()
+
+	iters := 5 * opts.Requests
+	if iters < 500 {
+		iters = 500
+	}
+	if !compiled {
+		asm := dpc.NewAssembler(store, codec, true)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := asm.Assemble(io.Discard, bytes.NewReader(body)); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(iters), nil
+	}
+	cache, err := tmplplan.NewCache(codec, tmplplan.CacheConfig{})
+	if err != nil {
+		return 0, err
+	}
+	ex := &tmplplan.Exec{
+		Store: store, Strict: true, Codec: codec,
+		Plans: cache, Parallelism: parallelism,
+	}
+	if _, _, err := cache.Get(body); err != nil { // warm the plan cache
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		plan, _, err := cache.Get(body)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := ex.Run(plan, io.Discard, nil); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), nil
 }
 
 // invalidationTTL is the deliberately long page-tier TTL the invalidation

@@ -80,6 +80,22 @@ type KeyedEntry struct {
 	// Gen is a caller-defined generation (the fragment-store adapter
 	// keeps the SET tag generation here; cache tiers leave it zero).
 	Gen uint32
+	// Obj is an optional structured payload stored by reference — never
+	// copied, so it must be immutable once stored (the plan cache keeps
+	// compiled template programs here). Tiers that use Obj should charge
+	// its footprint via Cost.
+	Obj any
+	// Cost, when positive, overrides len(Value) as the bytes this entry
+	// charges against the store's budget and occupancy accounting.
+	Cost int64
+}
+
+// size is the entry's charge against the byte ledger.
+func (e KeyedEntry) size() int64 {
+	if e.Cost > 0 {
+		return e.Cost
+	}
+	return int64(len(e.Value))
 }
 
 // KeyedStats is a point-in-time snapshot of a KeyedStore's occupancy and
@@ -223,7 +239,7 @@ func (s *KeyedStore) Get(key string) (KeyedEntry, bool) {
 // "don't admit what you'd immediately evict" behavior; under LRU it is
 // by definition the most recent).
 func (s *KeyedStore) Put(key string, entry KeyedEntry, ttl time.Duration) {
-	if s.led.budget > 0 && int64(len(entry.Value)) > s.led.budget {
+	if s.led.budget > 0 && entry.size() > s.led.budget {
 		// A value larger than the entire budget can never fit: refuse
 		// admission (counted as an eviction of the refused bytes) rather
 		// than emptying the store to make room, and drop any stale
@@ -235,7 +251,7 @@ func (s *KeyedStore) Put(key string, entry KeyedEntry, ttl time.Duration) {
 			sh.remove(e)
 		}
 		sh.evictions++
-		sh.evictedBytes += int64(len(entry.Value))
+		sh.evictedBytes += entry.size()
 		sh.mu.Unlock()
 		return
 	}
@@ -250,7 +266,7 @@ func (s *KeyedStore) Put(key string, entry KeyedEntry, ttl time.Duration) {
 	sh.puts.Add(1)
 	sh.mu.Lock()
 	if e, ok := sh.entries[key]; ok {
-		delta := int64(len(cp)) - int64(len(e.val.Value))
+		delta := entry.size() - e.val.size()
 		sh.bytes += delta
 		sh.led.reserve(delta)
 		e.val = entry
@@ -259,8 +275,8 @@ func (s *KeyedStore) Put(key string, entry KeyedEntry, ttl time.Duration) {
 	} else {
 		e := &kentry{key: key, val: entry, deadline: deadline}
 		sh.entries[key] = e
-		sh.bytes += int64(len(cp))
-		sh.led.reserve(int64(len(cp)))
+		sh.bytes += entry.size()
+		sh.led.reserve(entry.size())
 		sh.count.Add(1)
 		sh.admit(e)
 	}
@@ -481,8 +497,8 @@ func (sh *kshard) raiseInflation(p float64) {
 }
 
 func (sh *kshard) remove(e *kentry) {
-	sh.bytes -= int64(len(e.val.Value))
-	sh.led.release(int64(len(e.val.Value)))
+	sh.bytes -= e.val.size()
+	sh.led.release(e.val.size())
 	sh.count.Add(-1)
 	switch sh.policy {
 	case PolicyLRU:
@@ -504,14 +520,14 @@ func (sh *kshard) evictOne() {
 	default:
 		return
 	}
-	size := int64(len(victim.val.Value))
+	size := victim.val.size()
 	sh.remove(victim)
 	sh.evictions++
 	sh.evictedBytes += size
 }
 
 func kGdsfValue(e *kentry) float64 {
-	size := len(e.val.Value)
+	size := e.val.size()
 	if size < 1 {
 		size = 1
 	}

@@ -242,3 +242,43 @@ func TestKeyedReserveScratchEvicts(t *testing.T) {
 		t.Fatalf("unbudgeted store accounted scratch bytes: %d", u.BudgetUsed())
 	}
 }
+
+// Entries carrying a structured Obj payload are stored by reference and
+// charge their declared Cost against the byte budget instead of
+// len(Value), so a tier of compiled objects evicts under pressure like
+// any byte-valued tier.
+func TestKeyedObjCostAccounting(t *testing.T) {
+	s := newKeyed(t, fragstore.KeyedConfig{Shards: 1, ByteBudget: 1000})
+	type plan struct{ n int }
+	p := &plan{n: 42}
+	s.Put("/plan", fragstore.KeyedEntry{Obj: p, Cost: 400}, 0)
+	if got := s.Bytes(); got != 400 {
+		t.Fatalf("Bytes = %d after Cost=400 put, want 400", got)
+	}
+	e, ok := s.Get("/plan")
+	if !ok || e.Obj == nil {
+		t.Fatal("Obj entry missing")
+	}
+	if e.Obj.(*plan) != p {
+		t.Fatal("Obj was not stored by reference")
+	}
+	// Replacing the entry adjusts the ledger by the cost delta.
+	s.Put("/plan", fragstore.KeyedEntry{Obj: p, Cost: 700}, 0)
+	if got := s.Bytes(); got != 700 {
+		t.Fatalf("Bytes = %d after replace with Cost=700, want 700", got)
+	}
+	// Two more 400-cost entries push past the 1000-byte budget and force
+	// an eviction; the ledger must return to within budget.
+	s.Put("/plan2", fragstore.KeyedEntry{Obj: &plan{}, Cost: 400}, 0)
+	if got := s.Bytes(); got > 1000 {
+		t.Fatalf("bytes %d exceed budget", got)
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatal("no eviction after over-budget Obj puts")
+	}
+	// An Obj entry whose cost exceeds the entire budget is refused.
+	s.Put("/huge", fragstore.KeyedEntry{Obj: &plan{}, Cost: 5000}, 0)
+	if _, ok := s.Get("/huge"); ok {
+		t.Fatal("over-budget Obj entry admitted")
+	}
+}

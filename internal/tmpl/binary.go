@@ -20,6 +20,7 @@ const (
 	bopSet   = 'S' // magic S key gen len <content> magic E
 	bopEnd   = 'E' // closes a SET
 	bopQuote = 'Z' // literal occurrence of the magic itself
+	bopInc   = 'I' // magic I key gen — nested-include of slot Key
 )
 
 // Binary is the compact production codec.
@@ -92,6 +93,10 @@ func (e *binEncoder) Literal(p []byte) error {
 
 func (e *binEncoder) Get(key, gen uint32) error {
 	return e.tag(bopGet, uint64(key), uint64(gen))
+}
+
+func (e *binEncoder) Include(key, gen uint32) error {
+	return e.tag(bopInc, uint64(key), uint64(gen))
 }
 
 func (e *binEncoder) Set(key, gen uint32, content []byte) error {
@@ -211,6 +216,16 @@ func (d *binDecoder) readTag() (Instruction, error) {
 			return Instruction{}, corrupt("GET gen: %v", err)
 		}
 		return Instruction{Op: OpGet, Key: uint32(key), Gen: uint32(gen)}, nil
+	case bopInc:
+		key, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Instruction{}, corrupt("INC key: %v", err)
+		}
+		gen, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Instruction{}, corrupt("INC gen: %v", err)
+		}
+		return Instruction{Op: OpInclude, Key: uint32(key), Gen: uint32(gen)}, nil
 	case bopSet:
 		key, err := binary.ReadUvarint(d.r)
 		if err != nil {

@@ -17,6 +17,7 @@ const textMark = "<dpc:"
 //
 //	<dpc:get k="7" g="2"/>
 //	<dpc:set k="7" g="3" n="1024">…1024 bytes…</dpc:set>
+//	<dpc:inc k="7" g="2"/>           (slot 7 holds a nested template)
 //	<dpc:esc/>                       (a literal "<dpc:" in page output)
 //
 // It is roughly 2–3x larger on the wire than the binary codec; the codec
@@ -66,6 +67,11 @@ func (e *textEncoder) Literal(p []byte) error {
 
 func (e *textEncoder) Get(key, gen uint32) error {
 	_, err := fmt.Fprintf(e.w, `<dpc:get k="%d" g="%d"/>`, key, gen)
+	return err
+}
+
+func (e *textEncoder) Include(key, gen uint32) error {
+	_, err := fmt.Fprintf(e.w, `<dpc:inc k="%d" g="%d"/>`, key, gen)
 	return err
 }
 
@@ -208,6 +214,19 @@ func (d *textDecoder) readTag() (Instruction, error) {
 			return Instruction{}, err
 		}
 		return Instruction{Op: OpGet, Key: uint32(key), Gen: uint32(gen)}, nil
+	case "inc":
+		key, err := d.attr("k")
+		if err != nil {
+			return Instruction{}, err
+		}
+		gen, err := d.attr("g")
+		if err != nil {
+			return Instruction{}, err
+		}
+		if err := d.expect("/>"); err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: OpInclude, Key: uint32(key), Gen: uint32(gen)}, nil
 	case "set":
 		key, err := d.attr("k")
 		if err != nil {

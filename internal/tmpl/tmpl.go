@@ -7,7 +7,9 @@
 //   - literal bytes (non-cacheable output, markup between fragments),
 //   - GET(dpcKey): "splice in the fragment you already hold in this slot",
 //   - SET(dpcKey){content}: "store this freshly generated fragment in this
-//     slot, and splice it in".
+//     slot, and splice it in",
+//   - INCLUDE(dpcKey): "the fragment in this slot is itself a template;
+//     assemble it recursively in place" (ESI-style nested composition).
 //
 // Two codecs implement the protocol. The binary codec is the production
 // format: a 4-byte magic, an op byte, and uvarint fields give a GET tag of
@@ -36,6 +38,7 @@ const (
 	OpLiteral Op = iota // Data holds literal page bytes
 	OpGet               // splice fragment from slot Key
 	OpSet               // store Data into slot Key, then splice it
+	OpInclude           // slot Key holds a nested template; assemble it inline
 )
 
 // String returns the mnemonic for the op.
@@ -47,6 +50,8 @@ func (o Op) String() string {
 		return "GET"
 	case OpSet:
 		return "SET"
+	case OpInclude:
+		return "INC"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
@@ -68,6 +73,11 @@ type Encoder interface {
 	Get(key, gen uint32) error
 	// Set emits a store-and-splice tag pair bracketing content.
 	Set(key, gen uint32, content []byte) error
+	// Include emits a nested-include tag: slot Key holds another template
+	// in the same codec, to be assembled recursively in place (ESI-style
+	// composition). A missing or stale slot is a stale reference, exactly
+	// like a GET.
+	Include(key, gen uint32) error
 	// Flush forces any buffered bytes to the underlying writer.
 	Flush() error
 }
@@ -123,6 +133,8 @@ func EncodeAll(c Codec, w io.Writer, ins []Instruction) error {
 			err = e.Get(in.Key, in.Gen)
 		case OpSet:
 			err = e.Set(in.Key, in.Gen, in.Data)
+		case OpInclude:
+			err = e.Include(in.Key, in.Gen)
 		default:
 			err = fmt.Errorf("tmpl: cannot encode op %v", in.Op)
 		}

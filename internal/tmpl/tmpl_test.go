@@ -25,7 +25,7 @@ func equalStreams(a, b []Instruction) bool {
 }
 
 func TestOpString(t *testing.T) {
-	if OpLiteral.String() != "LIT" || OpGet.String() != "GET" || OpSet.String() != "SET" {
+	if OpLiteral.String() != "LIT" || OpGet.String() != "GET" || OpSet.String() != "SET" || OpInclude.String() != "INC" {
 		t.Fatal("op mnemonics wrong")
 	}
 	if Op(99).String() != "Op(99)" {
@@ -55,6 +55,29 @@ func TestRoundTripSimple(t *testing.T) {
 		{Op: OpLiteral, Data: []byte("<hr>")},
 		{Op: OpSet, Key: 12, Gen: 3, Data: []byte("fragment content here")},
 		{Op: OpLiteral, Data: []byte("</body></html>")},
+	}
+	for _, c := range codecs {
+		var buf bytes.Buffer
+		if err := EncodeAll(c, &buf, in); err != nil {
+			t.Fatalf("%s encode: %v", c.Name(), err)
+		}
+		out, err := DecodeAll(c, &buf)
+		if err != nil {
+			t.Fatalf("%s decode: %v", c.Name(), err)
+		}
+		if !equalStreams(in, out) {
+			t.Fatalf("%s roundtrip mismatch:\n in=%v\nout=%v", c.Name(), in, out)
+		}
+	}
+}
+
+func TestRoundTripInclude(t *testing.T) {
+	in := []Instruction{
+		{Op: OpLiteral, Data: []byte("<header>")},
+		{Op: OpInclude, Key: 300, Gen: 2},
+		{Op: OpGet, Key: 7, Gen: 1},
+		{Op: OpInclude, Key: 0, Gen: 0},
+		{Op: OpLiteral, Data: []byte("</footer>")},
 	}
 	for _, c := range codecs {
 		var buf bytes.Buffer
@@ -169,13 +192,15 @@ func TestRoundTripRandom(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		var in []Instruction
 		for i, n := 0, rng.Intn(8); i < n; i++ {
-			switch rng.Intn(3) {
+			switch rng.Intn(4) {
 			case 0:
 				in = append(in, Instruction{Op: OpLiteral, Data: genBytes(rng.Intn(80))})
 			case 1:
 				in = append(in, Instruction{Op: OpGet, Key: rng.Uint32() % 5000, Gen: rng.Uint32() % 16})
 			case 2:
 				in = append(in, Instruction{Op: OpSet, Key: rng.Uint32() % 5000, Gen: rng.Uint32() % 16, Data: genBytes(rng.Intn(120))})
+			case 3:
+				in = append(in, Instruction{Op: OpInclude, Key: rng.Uint32() % 5000, Gen: rng.Uint32() % 16})
 			}
 		}
 		for _, c := range codecs {

@@ -1,0 +1,104 @@
+package tmplplan
+
+import (
+	"crypto/sha256"
+	"sync/atomic"
+
+	"dpcache/internal/fragstore"
+	"dpcache/internal/tmpl"
+)
+
+// Cache is the plan-cache tier: compiled programs keyed by a SHA-256 of
+// the template bytes, stored by reference in a KeyedStore so the global
+// eviction machinery (byte budget via Plan.Footprint, entry bound, LRU)
+// and the invalidation fabric's KeyedTier surface apply unchanged.
+// Content hashing makes invalidation-by-redeploy automatic — an origin
+// that ships a changed layout produces different bytes, misses, and
+// compiles fresh; the old plan ages out — while the fabric's
+// "plan"-scoped flush (and gap recovery) empties the tier explicitly.
+type Cache struct {
+	codec tmpl.Codec
+	store *fragstore.KeyedStore
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	compiles atomic.Int64
+}
+
+// CacheConfig parameterizes a plan cache.
+type CacheConfig struct {
+	// Shards is the backing KeyedStore's shard count (0 = default).
+	Shards int
+	// MaxEntries bounds resident plans (0 = unbounded).
+	MaxEntries int
+	// ByteBudget bounds the summed Plan.Footprint of resident plans
+	// (0 = unbounded).
+	ByteBudget int64
+}
+
+// CacheStats is a point-in-time snapshot of plan-cache activity.
+type CacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Compiles int64 `json:"compiles"`
+	Resident int   `json:"resident"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// NewCache returns a plan cache compiling templates with codec.
+func NewCache(codec tmpl.Codec, cfg CacheConfig) (*Cache, error) {
+	ks, err := fragstore.NewKeyed(fragstore.KeyedConfig{
+		Shards:     cfg.Shards,
+		MaxEntries: cfg.MaxEntries,
+		ByteBudget: cfg.ByteBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{codec: codec, store: ks}, nil
+}
+
+// Get returns the compiled plan for template, compiling and caching it on
+// miss; hit reports whether the plan was already resident. Two concurrent
+// misses on the same bytes may both compile; plans are immutable, so the
+// duplicate Put is harmless. A compile error (a corrupt template) is
+// returned without caching — the caller falls back to the streaming
+// interpreter, which reproduces the exact partial-consumption error
+// semantics.
+func (c *Cache) Get(template []byte) (plan *Plan, hit bool, err error) {
+	sum := sha256.Sum256(template)
+	key := string(sum[:])
+	if e, ok := c.store.Get(key); ok {
+		if p, ok := e.Obj.(*Plan); ok {
+			c.hits.Add(1)
+			return p, true, nil
+		}
+	}
+	c.misses.Add(1)
+	p, err := Compile(c.codec, template)
+	if err != nil {
+		return nil, false, err
+	}
+	c.compiles.Add(1)
+	c.store.Put(key, fragstore.KeyedEntry{Obj: p, Cost: p.Footprint()}, 0)
+	return p, false, nil
+}
+
+// Codec returns the codec plans are compiled with.
+func (c *Cache) Codec() tmpl.Codec { return c.codec }
+
+// Store exposes the backing KeyedStore — the KeyedTier surface the
+// invalidation fabric's plan subscriber drives.
+func (c *Cache) Store() *fragstore.KeyedStore { return c.store }
+
+// Stats snapshots cache activity.
+func (c *Cache) Stats() CacheStats {
+	ks := c.store.Stats()
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Compiles: c.compiles.Load(),
+		Resident: ks.Resident,
+		Bytes:    ks.Bytes,
+	}
+}

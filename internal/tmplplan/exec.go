@@ -1,0 +1,275 @@
+package tmplplan
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"dpcache/internal/fragstore"
+	"dpcache/internal/tmpl"
+	"dpcache/internal/trace"
+)
+
+// Planner resolves nested-include bodies to compiled plans. *Cache
+// implements it; a nil Planner on Exec compiles includes uncached.
+type Planner interface {
+	Get(template []byte) (plan *Plan, hit bool, err error)
+}
+
+// Exec executes compiled plans against a fragment store. It is a
+// configuration bundle, stateless across runs and safe for concurrent
+// use.
+type Exec struct {
+	// Store resolves fragment GETs and receives SETs.
+	Store fragstore.FragmentStore
+	// Strict enables generation checking on GETs (the proxy's strict
+	// mode).
+	Strict bool
+	// Codec decodes nested-include bodies when Plans is nil.
+	Codec tmpl.Codec
+	// Plans, when set, caches compiled nested-include bodies (the same
+	// plan cache that holds top-level plans).
+	Plans Planner
+	// Parallelism bounds the prefetch worker fan-out for independent
+	// GETs; <= 1 disables prefetch and resolves everything in walk
+	// order.
+	Parallelism int
+	// MinParallelGets is the minimum number of distinct independent GETs
+	// a plan must carry before the fan-out is worth its goroutines
+	// (default 4).
+	MinParallelGets int
+}
+
+// preResult is one prefetched lookup, indexed like Plan.par.
+type preResult struct {
+	data []byte
+	ok   bool
+}
+
+// execState threads the per-run mutable state through include recursion:
+// one writer, one Stats, one ref-dedup set for the whole page.
+type execState struct {
+	e  *Exec
+	w  io.Writer
+	st *Stats
+	// Dense-slot dedup for plans without includes (allocation-free up to
+	// 64 distinct refs via bits; one []bool past that).
+	bits uint64
+	seen []bool
+	// Map dedup for plans with includes, whose sub-programs have their
+	// own slot spaces (lazily allocated, like the interpreter's).
+	seenMap map[uint64]struct{}
+	useMap  bool
+}
+
+// Run executes p, writing the assembled page to w. Semantics mirror the
+// interpreter's Assembler.AssembleTrace exactly: SETs are applied even
+// after the page is doomed by a stale GET, output is suppressed from the
+// first stale reference onward, and the final error carries the first
+// stale ref and the total count. sp, when non-nil, receives a child span
+// per fragment resolution, exactly as the interpreter records them.
+func (e *Exec) Run(p *Plan, w io.Writer, sp *trace.Span) (Stats, error) {
+	var st Stats
+	st.TemplateBytes = p.srcLen
+	x := &execState{e: e, w: w, st: &st, useMap: p.hasInc}
+	if !p.hasInc && p.numRefs > 64 {
+		x.seen = make([]bool, p.numRefs)
+	}
+	var pre []preResult
+	if min := e.minParallelGets(); e.Parallelism > 1 && len(p.par) >= min {
+		pre = e.prefetch(p)
+		st.ParallelGets = len(p.par)
+	}
+	if err := x.run(p, pre, sp, 0); err != nil {
+		return st, err
+	}
+	if len(st.Stale) > 0 {
+		first := st.Stale[0]
+		return st, fmt.Errorf("%w (first: key %d gen %d, %d total)",
+			ErrStale, first.Key, first.Gen, len(st.Stale))
+	}
+	return st, nil
+}
+
+func (e *Exec) minParallelGets() int {
+	if e.MinParallelGets > 0 {
+		return e.MinParallelGets
+	}
+	return 4
+}
+
+// prefetch resolves the plan's independent GETs with a bounded worker
+// pool and returns the results indexed like p.par.
+func (e *Exec) prefetch(p *Plan) []preResult {
+	res := make([]preResult, len(p.par))
+	workers := e.Parallelism
+	if workers > len(p.par) {
+		workers = len(p.par)
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(p.par) {
+					return
+				}
+				g := p.par[i]
+				data, ok := e.Store.Get(g.key, g.gen, e.Strict)
+				res[i] = preResult{data: data, ok: ok}
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// addRef records a unique fragment reference in first-use order.
+func (x *execState) addRef(key, gen uint32, slot int32) {
+	if x.useMap {
+		id := uint64(key)<<32 | uint64(gen)
+		if x.seenMap == nil {
+			x.seenMap = make(map[uint64]struct{}, 8)
+		} else if _, dup := x.seenMap[id]; dup {
+			return
+		}
+		x.seenMap[id] = struct{}{}
+	} else if x.seen != nil {
+		if x.seen[slot] {
+			return
+		}
+		x.seen[slot] = true
+	} else {
+		if x.bits&(1<<uint(slot)) != 0 {
+			return
+		}
+		x.bits |= 1 << uint(slot)
+	}
+	x.st.Refs = append(x.st.Refs, Ref{Key: key, Gen: gen})
+}
+
+// run walks one program. pre carries the top-level prefetch results
+// (nil for sub-programs, whose GETs resolve in walk order).
+func (x *execState) run(p *Plan, pre []preResult, sp *trace.Span, depth int) error {
+	st := x.st
+	for i := range p.ops {
+		o := &p.ops[i]
+		doomed := len(st.Stale) > 0
+		switch o.kind {
+		case opLit:
+			st.Literals++
+			if doomed {
+				continue
+			}
+			n, err := x.w.Write(o.data)
+			st.PageBytes += int64(n)
+			if err != nil {
+				return err
+			}
+		case opSet:
+			st.Sets++
+			if err := x.e.Store.Set(o.key, o.gen, o.data); err != nil {
+				return err
+			}
+			x.addRef(o.key, o.gen, o.refSlot)
+			if doomed {
+				continue
+			}
+			n, err := x.w.Write(o.data)
+			st.PageBytes += int64(n)
+			if err != nil {
+				return err
+			}
+		case opGet:
+			st.Gets++
+			var fsp *trace.Span
+			if sp != nil {
+				fsp = sp.Child("fragment")
+			}
+			var data []byte
+			var ok bool
+			if pre != nil && o.pre >= 0 {
+				r := pre[o.pre]
+				data, ok = r.data, r.ok
+			} else {
+				data, ok = x.e.Store.Get(o.key, o.gen, x.e.Strict)
+			}
+			if !ok {
+				if fsp != nil {
+					fsp.Event(trace.KindMiss, "fragment", o.refStr, 0)
+					fsp.Finish()
+				}
+				st.Stale = append(st.Stale, Ref{Key: o.key, Gen: o.gen})
+				continue
+			}
+			if fsp != nil {
+				fsp.Event(trace.KindHit, "fragment", o.refStr, int64(len(data)))
+				fsp.Finish()
+			}
+			x.addRef(o.key, o.gen, o.refSlot)
+			if doomed {
+				continue
+			}
+			n, err := x.w.Write(data)
+			st.PageBytes += int64(n)
+			if err != nil {
+				return err
+			}
+		case opInc:
+			st.Includes++
+			if depth >= MaxIncludeDepth {
+				return fmt.Errorf("dpc: include depth exceeds %d (key %d gen %d)",
+					MaxIncludeDepth, o.key, o.gen)
+			}
+			var fsp *trace.Span
+			if sp != nil {
+				fsp = sp.Child("include")
+			}
+			data, ok := x.e.Store.Get(o.key, o.gen, x.e.Strict)
+			if !ok {
+				if fsp != nil {
+					fsp.Event(trace.KindMiss, "fragment", o.refStr, 0)
+					fsp.Finish()
+				}
+				st.Stale = append(st.Stale, Ref{Key: o.key, Gen: o.gen})
+				continue
+			}
+			if fsp != nil {
+				fsp.Event(trace.KindHit, "fragment", o.refStr, int64(len(data)))
+			}
+			x.addRef(o.key, o.gen, o.refSlot)
+			// Recurse even when doomed: the nested template's SETs must
+			// still land in the store (write suppression carries through
+			// the shared Stats).
+			sub, err := x.subplan(data)
+			if err != nil {
+				if fsp != nil {
+					fsp.Finish()
+				}
+				return fmt.Errorf("dpc: decoding template: %w", err)
+			}
+			err = x.run(sub, nil, fsp, depth+1)
+			if fsp != nil {
+				fsp.Finish()
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// subplan resolves a nested-include body to a compiled plan, through the
+// plan cache when one is configured.
+func (x *execState) subplan(data []byte) (*Plan, error) {
+	if x.e.Plans != nil {
+		p, _, err := x.e.Plans.Get(data)
+		return p, err
+	}
+	return Compile(x.e.Codec, data)
+}

@@ -1,0 +1,157 @@
+package tmplplan
+
+import (
+	"bytes"
+
+	"dpcache/internal/tmpl"
+)
+
+// opKind discriminates program operators.
+type opKind uint8
+
+const (
+	opLit opKind = iota // emit data
+	opGet               // resolve slot (key, gen) and emit it
+	opSet               // store data into slot (key, gen), then emit it
+	opInc               // slot (key, gen) holds a nested template; run it
+)
+
+// op is one operator of a compiled program. Programs are immutable after
+// Compile; data slices are owned by the plan and shared zero-copy with
+// every execution.
+type op struct {
+	kind opKind
+	key  uint32
+	gen  uint32
+	// data holds literal bytes (opLit) or SET content (opSet).
+	data []byte
+	// refStr is the interned "key:gen" string for trace events
+	// (opGet/opSet/opInc).
+	refStr string
+	// refSlot is the plan-dense index of this op's (key, gen) pair, used
+	// for allocation-free ref dedup at execution (-1 for literals).
+	refSlot int32
+	// pre is this op's index into Plan.par when the GET is eligible for
+	// parallel prefetch, -1 otherwise.
+	pre int32
+	// seq marks a GET that must resolve in walk order because an earlier
+	// SET in the program writes its key, or because it follows an
+	// include (which can SET arbitrary keys at runtime).
+	seq bool
+}
+
+// parGet is one prefetchable lookup: a distinct (key, gen) pair no
+// earlier program op can affect.
+type parGet struct {
+	key uint32
+	gen uint32
+}
+
+// Plan is an immutable compiled template program. A Plan is safe for
+// concurrent execution by any number of goroutines.
+type Plan struct {
+	ops []op
+	// par lists the distinct independent GET lookups, in first-use order.
+	par []parGet
+	// numRefs is the count of distinct (key, gen) pairs referenced.
+	numRefs int
+	// hasInc marks programs containing nested includes, whose ref dedup
+	// must span sub-programs and therefore cannot use the dense slots.
+	hasInc bool
+	// srcLen is the compiled template's byte length (Stats.TemplateBytes).
+	srcLen int64
+	// footprint is the plan's retained memory estimate (cache Cost).
+	footprint int64
+}
+
+// Ops returns the program length in operators.
+func (p *Plan) Ops() int { return len(p.ops) }
+
+// IndependentGets returns how many distinct GET lookups are eligible for
+// parallel prefetch.
+func (p *Plan) IndependentGets() int { return len(p.par) }
+
+// SrcLen returns the compiled template's byte length.
+func (p *Plan) SrcLen() int64 { return p.srcLen }
+
+// Footprint estimates the plan's retained bytes — the cost it charges
+// against a plan cache's byte budget.
+func (p *Plan) Footprint() int64 { return p.footprint }
+
+// opOverhead approximates the per-op struct + bookkeeping bytes counted
+// into a plan's footprint beyond its retained data.
+const opOverhead = 64
+
+// Compile decodes template once and builds its operator program. The
+// returned error is the decoder's own (wrapping tmpl.ErrCorrupt for
+// malformed streams); callers fall back to the streaming interpreter in
+// that case so partial-consumption semantics stay identical.
+func Compile(codec tmpl.Codec, template []byte) (*Plan, error) {
+	ins, err := tmpl.DecodeAll(codec, bytes.NewReader(template))
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{srcLen: int64(len(template))}
+	p.ops = make([]op, 0, len(ins))
+	refSlots := make(map[uint64]int32, 8)
+	parSlots := make(map[uint64]int32, 8)
+	setKeys := make(map[uint32]bool, 4)
+	afterInc := false
+	var retained int64
+	slot := func(key, gen uint32) int32 {
+		id := uint64(key)<<32 | uint64(gen)
+		if s, ok := refSlots[id]; ok {
+			return s
+		}
+		s := int32(len(refSlots))
+		refSlots[id] = s
+		return s
+	}
+	for _, in := range ins {
+		switch in.Op {
+		case tmpl.OpLiteral:
+			p.ops = append(p.ops, op{kind: opLit, data: in.Data, refSlot: -1, pre: -1})
+			retained += int64(len(in.Data))
+		case tmpl.OpGet:
+			o := op{
+				kind: opGet, key: in.Key, gen: in.Gen,
+				refStr:  RefString(in.Key, in.Gen),
+				refSlot: slot(in.Key, in.Gen),
+				pre:     -1,
+				seq:     setKeys[in.Key] || afterInc,
+			}
+			if !o.seq {
+				id := uint64(in.Key)<<32 | uint64(in.Gen)
+				pi, ok := parSlots[id]
+				if !ok {
+					pi = int32(len(p.par))
+					parSlots[id] = pi
+					p.par = append(p.par, parGet{key: in.Key, gen: in.Gen})
+				}
+				o.pre = pi
+			}
+			p.ops = append(p.ops, o)
+		case tmpl.OpSet:
+			p.ops = append(p.ops, op{
+				kind: opSet, key: in.Key, gen: in.Gen, data: in.Data,
+				refStr:  RefString(in.Key, in.Gen),
+				refSlot: slot(in.Key, in.Gen),
+				pre:     -1,
+			})
+			retained += int64(len(in.Data))
+			setKeys[in.Key] = true
+		case tmpl.OpInclude:
+			p.ops = append(p.ops, op{
+				kind: opInc, key: in.Key, gen: in.Gen,
+				refStr:  RefString(in.Key, in.Gen),
+				refSlot: slot(in.Key, in.Gen),
+				pre:     -1,
+			})
+			p.hasInc = true
+			afterInc = true
+		}
+	}
+	p.numRefs = len(refSlots)
+	p.footprint = retained + int64(len(p.ops))*opOverhead + int64(p.numRefs)*24 + 128
+	return p, nil
+}

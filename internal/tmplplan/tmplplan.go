@@ -1,0 +1,85 @@
+// Package tmplplan compiles template streams into immutable operator
+// programs and executes them against a fragment store.
+//
+// The interpreter in internal/dpc pays the paper's scan cost (z·B_C) on
+// every request: the template byte stream is re-decoded and every GET
+// resolves sequentially even when the identical template was assembled
+// microseconds ago. This package pays the scan once. Compile decodes a
+// template into a flat []op program — literal-emit ops referencing the
+// template's bytes (retained once, sliced zero-copy at execution),
+// fragment-get, fragment-set, and nested-include ops — and Cache keys
+// compiled programs by a strong hash of the template bytes, so an origin
+// redeploy that changes the layout naturally misses and recompiles.
+//
+// Execution (Exec.Run) walks the program in template order, so output
+// bytes, AssembleStats counters, Refs/Stale ordering, and the
+// "consume all SETs even when doomed" invariant are identical to the
+// interpreter's — the conformance suite in internal/dpc asserts byte
+// equality. The one liberty taken is *when* independent fragment-gets
+// read the store: GETs that no earlier SET or include in the same
+// program can affect are resolved concurrently by a bounded worker
+// fan-out before the walk begins, and the walk stitches the prefetched
+// results back in template order. Fragment refs ("key:gen") are interned
+// package-wide so neither execution path allocates per-request ref
+// strings for trace events or dependency edges.
+package tmplplan
+
+import "errors"
+
+// Ref identifies a fragment slot reference (key + generation). It is the
+// element type of Stats.Stale and Stats.Refs; internal/dpc aliases it as
+// StaleRef.
+type Ref struct {
+	Key uint32
+	Gen uint32
+}
+
+// ErrStale reports that one or more GET (or include) instructions
+// referenced slots that are empty or (in strict mode) carry a different
+// generation than the template expected. The proxy recovers by
+// re-fetching the page with the bypass header, reporting the stale
+// references so the BEM invalidates them (see Stats.Stale).
+var ErrStale = errors.New("dpc: template references stale or unset slot")
+
+// MaxIncludeDepth bounds nested-include recursion: a template stored as a
+// fragment may (transitively) include itself, and without a bound a cycle
+// would recurse forever. Both execution paths enforce the same limit so
+// they fail identically.
+const MaxIncludeDepth = 8
+
+// Stats reports what one assembly consumed and produced. internal/dpc
+// aliases it as AssembleStats; both the interpreter and the compiled
+// executor fill it with identical values for identical inputs (the
+// conformance suite asserts this), except ParallelGets, which only the
+// parallel executor moves.
+type Stats struct {
+	// TemplateBytes is the template stream size — the bytes that crossed
+	// the origin↔DPC link and were scanned for tags (the z·B_C term of
+	// the paper's scan-cost analysis). Nested-include bodies come from
+	// the fragment store, not that link, so they are not counted.
+	TemplateBytes int64
+	// PageBytes is the assembled page size delivered to the client.
+	PageBytes int64
+	Gets      int
+	Sets      int
+	Literals  int
+	// Includes counts nested-include instructions executed (at any
+	// depth).
+	Includes int
+	// ParallelGets counts GET instructions resolved through the
+	// concurrent prefetch fan-out rather than the sequential walk.
+	ParallelGets int
+	// Stale lists GET references that could not be satisfied. When
+	// non-empty the page output is unusable and execution returns
+	// ErrStale — but the template was still consumed to the end, so
+	// every SET it carried has been applied to the store. (Aborting at
+	// the first bad GET would discard those SETs while the directory
+	// already believes them cached, wedging the fragments into a
+	// permanent fallback loop.)
+	Stale []Ref
+	// Refs lists the unique fragment references (SETs, satisfied GETs,
+	// and satisfied includes) whose content flowed into the page — the
+	// dependency edges the invalidation fabric records, so a later
+	// invalidation of any of them can drop the cached page.
+	Refs []Ref
+}

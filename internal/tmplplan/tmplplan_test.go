@@ -1,0 +1,369 @@
+package tmplplan
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"dpcache/internal/depindex"
+	"dpcache/internal/fragstore"
+	"dpcache/internal/tmpl"
+)
+
+func lit(s string) tmpl.Instruction {
+	return tmpl.Instruction{Op: tmpl.OpLiteral, Data: []byte(s)}
+}
+func get(k, g uint32) tmpl.Instruction { return tmpl.Instruction{Op: tmpl.OpGet, Key: k, Gen: g} }
+func set(k, g uint32, s string) tmpl.Instruction {
+	return tmpl.Instruction{Op: tmpl.OpSet, Key: k, Gen: g, Data: []byte(s)}
+}
+func inc(k, g uint32) tmpl.Instruction {
+	return tmpl.Instruction{Op: tmpl.OpInclude, Key: k, Gen: g}
+}
+
+func encode(t testing.TB, c tmpl.Codec, ins []tmpl.Instruction) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tmpl.EncodeAll(c, &buf, ins); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func newStore(t testing.TB) fragstore.FragmentStore {
+	t.Helper()
+	st, err := fragstore.New(fragstore.Config{Backend: fragstore.BackendSlot, Capacity: 256})
+	if err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	return st
+}
+
+func TestRefStringMatchesDepindex(t *testing.T) {
+	for _, tc := range [][2]uint32{{0, 0}, {1, 2}, {42, 7}, {1 << 31, 999999}, {4294967295, 4294967295}} {
+		want := depindex.Ref(tc[0], tc[1])
+		if got := RefString(tc[0], tc[1]); got != want {
+			t.Fatalf("RefString(%d,%d) = %q, depindex.Ref = %q", tc[0], tc[1], got, want)
+		}
+	}
+	// Interned: the steady state allocates nothing.
+	RefString(11, 22)
+	if n := testing.AllocsPerRun(100, func() { RefString(11, 22) }); n != 0 {
+		t.Fatalf("interned RefString allocated %v per call", n)
+	}
+}
+
+func TestCompileAnalysis(t *testing.T) {
+	codec := tmpl.Binary{}
+	// GET 1 is independent; GET 2 follows a SET of key 2 (sequential);
+	// the second GET 1 dedups into the same prefetch slot; everything
+	// after the include is sequential.
+	body := encode(t, codec, []tmpl.Instruction{
+		lit("a"), get(1, 1), set(2, 1, "two"), get(2, 1), get(1, 1),
+		inc(5, 1), get(3, 1),
+	})
+	p, err := Compile(codec, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ops() != 7 {
+		t.Fatalf("ops = %d, want 7", p.Ops())
+	}
+	if got := p.IndependentGets(); got != 1 {
+		t.Fatalf("independent gets = %d, want 1 (only key 1)", got)
+	}
+	if !p.hasInc {
+		t.Fatal("hasInc not set")
+	}
+	if p.SrcLen() != int64(len(body)) {
+		t.Fatalf("SrcLen = %d, want %d", p.SrcLen(), len(body))
+	}
+	if p.Footprint() <= 0 {
+		t.Fatal("footprint not positive")
+	}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	for _, codec := range []tmpl.Codec{tmpl.Binary{}, tmpl.Text{}} {
+		store := newStore(t)
+		if err := store.Set(1, 1, []byte("ONE")); err != nil {
+			t.Fatal(err)
+		}
+		body := encode(t, codec, []tmpl.Instruction{
+			lit("["), get(1, 1), set(2, 1, "TWO"), get(2, 1), lit("]"),
+		})
+		p, err := Compile(codec, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := &Exec{Store: store, Strict: true, Codec: codec}
+		var out bytes.Buffer
+		st, err := e.Run(p, &out, nil)
+		if err != nil {
+			t.Fatalf("%s: run: %v", codec.Name(), err)
+		}
+		if got := out.String(); got != "[ONETWOTWO]" {
+			t.Fatalf("%s: page = %q", codec.Name(), got)
+		}
+		if st.Gets != 2 || st.Sets != 1 || st.Literals != 2 {
+			t.Fatalf("stats = %+v", st)
+		}
+		if st.TemplateBytes != int64(len(body)) {
+			t.Fatalf("TemplateBytes = %d, want %d", st.TemplateBytes, len(body))
+		}
+		wantRefs := []Ref{{1, 1}, {2, 1}}
+		if len(st.Refs) != 2 || st.Refs[0] != wantRefs[0] || st.Refs[1] != wantRefs[1] {
+			t.Fatalf("refs = %v, want %v", st.Refs, wantRefs)
+		}
+	}
+}
+
+func TestRunStaleDoomsOutputButAppliesSets(t *testing.T) {
+	codec := tmpl.Binary{}
+	store := newStore(t)
+	body := encode(t, codec, []tmpl.Instruction{
+		lit("head"), get(9, 3), lit("never"), set(5, 1, "X"), get(8, 1),
+	})
+	p, err := Compile(codec, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Exec{Store: store, Strict: true, Codec: codec}
+	var out bytes.Buffer
+	st, err := e.Run(p, &out, nil)
+	if !errors.Is(err, ErrStale) {
+		t.Fatalf("err = %v, want ErrStale", err)
+	}
+	want := fmt.Sprintf("%v (first: key 9 gen 3, 2 total)", ErrStale)
+	if err.Error() != want {
+		t.Fatalf("err = %q, want %q", err.Error(), want)
+	}
+	if got := out.String(); got != "head" {
+		t.Fatalf("page = %q, want output suppressed after first stale", got)
+	}
+	if len(st.Stale) != 2 || st.Stale[0] != (Ref{9, 3}) || st.Stale[1] != (Ref{8, 1}) {
+		t.Fatalf("stale = %v", st.Stale)
+	}
+	// The SET after the doom still landed.
+	if data, ok := store.Get(5, 1, true); !ok || string(data) != "X" {
+		t.Fatalf("doomed SET not applied: %q %v", data, ok)
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	codec := tmpl.Binary{}
+	store := newStore(t)
+	var ins []tmpl.Instruction
+	for k := uint32(1); k <= 6; k++ {
+		if k != 4 { // key 4 left unset: staleness must surface identically
+			if err := store.Set(k, 1, []byte(fmt.Sprintf("<%d>", k))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ins = append(ins, lit("|"), get(k, 1))
+	}
+	p, err := Compile(codec, encode(t, codec, ins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IndependentGets() != 6 {
+		t.Fatalf("independent gets = %d", p.IndependentGets())
+	}
+	seq := &Exec{Store: store, Strict: true, Codec: codec, Parallelism: 1}
+	par := &Exec{Store: store, Strict: true, Codec: codec, Parallelism: 8}
+	var outSeq, outPar bytes.Buffer
+	stSeq, errSeq := seq.Run(p, &outSeq, nil)
+	stPar, errPar := par.Run(p, &outPar, nil)
+	if (errSeq == nil) != (errPar == nil) || !errors.Is(errPar, ErrStale) {
+		t.Fatalf("errs diverge: seq=%v par=%v", errSeq, errPar)
+	}
+	if errSeq.Error() != errPar.Error() {
+		t.Fatalf("error text diverges: %q vs %q", errSeq, errPar)
+	}
+	if outSeq.String() != outPar.String() {
+		t.Fatalf("bytes diverge: %q vs %q", outSeq.String(), outPar.String())
+	}
+	if stSeq.ParallelGets != 0 || stPar.ParallelGets != 6 {
+		t.Fatalf("ParallelGets: seq=%d par=%d", stSeq.ParallelGets, stPar.ParallelGets)
+	}
+	stPar.ParallelGets = stSeq.ParallelGets
+	if fmt.Sprintf("%+v", stSeq) != fmt.Sprintf("%+v", stPar) {
+		t.Fatalf("stats diverge:\nseq %+v\npar %+v", stSeq, stPar)
+	}
+}
+
+func TestRunInclude(t *testing.T) {
+	codec := tmpl.Text{}
+	store := newStore(t)
+	nested := encode(t, codec, []tmpl.Instruction{lit("("), get(1, 1), lit(")")})
+	if err := store.Set(1, 1, []byte("leaf")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Set(10, 2, nested); err != nil {
+		t.Fatal(err)
+	}
+	body := encode(t, codec, []tmpl.Instruction{lit("A"), inc(10, 2), lit("B")})
+	p, err := Compile(codec, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Exec{Store: store, Strict: true, Codec: codec}
+	var out bytes.Buffer
+	st, err := e.Run(p, &out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "A(leaf)B" {
+		t.Fatalf("page = %q", got)
+	}
+	if st.Includes != 1 {
+		t.Fatalf("includes = %d", st.Includes)
+	}
+	// Refs span the include boundary in first-use order.
+	if len(st.Refs) != 2 || st.Refs[0] != (Ref{10, 2}) || st.Refs[1] != (Ref{1, 1}) {
+		t.Fatalf("refs = %v", st.Refs)
+	}
+	// TemplateBytes counts only the top-level body, as the interpreter does.
+	if st.TemplateBytes != int64(len(body)) {
+		t.Fatalf("TemplateBytes = %d, want %d", st.TemplateBytes, len(body))
+	}
+}
+
+func TestRunIncludeDepthLimit(t *testing.T) {
+	codec := tmpl.Binary{}
+	store := newStore(t)
+	// Slot 10 includes itself: recursion must stop at MaxIncludeDepth.
+	self := encode(t, codec, []tmpl.Instruction{inc(10, 1)})
+	if err := store.Set(10, 1, self); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(codec, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Exec{Store: store, Codec: codec}
+	_, err = e.Run(p, io.Discard, nil)
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("include depth exceeds %d", MaxIncludeDepth)) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCacheHitMissCompile(t *testing.T) {
+	codec := tmpl.Binary{}
+	c, err := NewCache(codec, CacheConfig{MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := encode(t, codec, []tmpl.Instruction{lit("x"), get(1, 1)})
+	p1, hit, err := c.Get(body)
+	if err != nil || hit {
+		t.Fatalf("first get: hit=%v err=%v", hit, err)
+	}
+	p2, hit, err := c.Get(body)
+	if err != nil || !hit {
+		t.Fatalf("second get: hit=%v err=%v", hit, err)
+	}
+	if p1 != p2 {
+		t.Fatal("hit returned a different plan instance")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Compiles != 1 || st.Resident != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes != p1.Footprint() {
+		t.Fatalf("bytes = %d, want footprint %d", st.Bytes, p1.Footprint())
+	}
+	// A corrupt template is never cached: both lookups miss, neither
+	// compiles.
+	corrupt := []byte{0x01, 'D', 'P', 'C', 0xFF}
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Get(corrupt); err == nil {
+			t.Fatal("corrupt template compiled")
+		}
+	}
+	st = c.Stats()
+	if st.Misses != 3 || st.Compiles != 1 {
+		t.Fatalf("after corrupt: %+v", st)
+	}
+}
+
+// TestStormCompileExecuteInvalidate races plan compilation, execution
+// (sequential and parallel), fragment rewrites, fragment drops, and
+// whole-tier plan flushes; run under -race. Every execution must end in
+// a clean page or ErrStale — never a torn state or decode error.
+func TestStormCompileExecuteInvalidate(t *testing.T) {
+	codec := tmpl.Binary{}
+	store := newStore(t)
+	cache, err := NewCache(codec, CacheConfig{MaxEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested := encode(t, codec, []tmpl.Instruction{lit("("), get(1, 1), lit(")")})
+	for k := uint32(1); k <= 8; k++ {
+		if err := store.Set(k, 1, []byte(fmt.Sprintf("<%d>", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Set(20, 1, nested); err != nil {
+		t.Fatal(err)
+	}
+	var bodies [][]byte
+	for i := 0; i < 4; i++ {
+		ins := []tmpl.Instruction{lit(fmt.Sprintf("t%d:", i))}
+		for k := uint32(1); k <= 8; k++ {
+			ins = append(ins, get(k, 1))
+		}
+		ins = append(ins, set(uint32(30+i), 1, "s"), inc(20, 1))
+		bodies = append(bodies, encode(t, codec, ins))
+	}
+	ex := &Exec{Store: store, Codec: codec, Plans: cache, Parallelism: 4, MinParallelGets: 2}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				p, _, err := cache.Get(bodies[(w+i)%len(bodies)])
+				if err != nil {
+					t.Errorf("compile: %v", err)
+					return
+				}
+				if _, err := ex.Run(p, io.Discard, nil); err != nil && !errors.Is(err, ErrStale) {
+					t.Errorf("run: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			k := uint32(1 + i%8)
+			store.Drop(k)
+			_ = store.Set(k, 1, []byte("fresh"))
+			if i%50 == 0 {
+				cache.Store().Flush()
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func BenchmarkRefString(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = RefString(uint32(i%512), 7)
+	}
+}
+
+func BenchmarkRefSprintf(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = fmt.Sprintf("%d:%d", uint32(i%512), 7)
+	}
+}
