@@ -1,0 +1,66 @@
+// Command dpclint runs dpcache's project-invariant analyzers over the
+// module tree and exits non-zero on any finding. It is a CI gate:
+//
+//	go run ./cmd/dpclint ./...
+//
+// The analyzers and their invariants are documented in docs/LINTING.md;
+// findings are suppressed line-by-line with
+// //dpclint:ignore <analyzer> <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dpcache/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("help-analyzers", false, "print the analyzers and their invariants, then exit")
+	flag.Parse()
+
+	analyzers := lint.ProjectAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if args := flag.Args(); len(args) > 1 || (len(args) == 1 && args[0] != "./...") {
+		fmt.Fprintln(os.Stderr, "dpclint: the only supported package pattern is ./... (the whole module)")
+		os.Exit(2)
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadTree()
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := lint.RunPackages(pkgs, analyzers)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dpclint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dpclint: %d packages, %d analyzers, no findings\n", len(pkgs), len(analyzers))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpclint:", err)
+	os.Exit(1)
+}

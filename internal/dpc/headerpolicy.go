@@ -1,0 +1,33 @@
+package dpc
+
+import "dpcache/internal/trace"
+
+// responseInvariantHeaders declares the request headers that may be
+// read on the request path without being folded into the coalesce
+// identity key, because the bytes of the selected representation never
+// vary on them. forwardedHeaders (pipeline.go) answers "which headers
+// make two requests different requests"; this list answers "which
+// headers may be consulted anyway". Everything else read off the
+// inbound request is a PR 3-class cross-user hazard, and the headerkey
+// analyzer (internal/lint) holds every Header.Get/Values in this
+// package to one of the two lists.
+var responseInvariantHeaders = []string{
+	// Conditional revalidation: chooses between 304 and a 200 of the
+	// same cached entity; the entity itself is keyed elsewhere.
+	"If-None-Match",
+	// Trace-id propagation: observability only, never touches
+	// response bytes.
+	trace.Header,
+}
+
+// ForwardedHeaders returns a copy of the identity header set that is
+// forwarded to the origin and folded into the coalesce key.
+func ForwardedHeaders() []string {
+	return append([]string(nil), forwardedHeaders...)
+}
+
+// ResponseInvariantHeaders returns a copy of the declared
+// response-invariant request-header allowlist.
+func ResponseInvariantHeaders() []string {
+	return append([]string(nil), responseInvariantHeaders...)
+}

@@ -51,6 +51,7 @@ type Stage struct {
 func (p *Proxy) newStage(name string, run func(*reqState) (stageOutcome, error)) *Stage {
 	return &Stage{
 		Name: name,
+		//dpclint:ignore metriccatalog stage names come from pipelineStageNames, which MetricCatalog enumerates and TestMetricsDocumented asserts against the stage list
 		hist: p.reg.Histogram("dpc.stage." + name + ".latency"),
 		run:  run,
 	}
@@ -371,6 +372,7 @@ func (p *Proxy) originRequest(rs *reqState, bypassStale []StaleRef) (*http.Respo
 		}
 	}
 	if host, _, splitErr := net.SplitHostPort(r.RemoteAddr); splitErr == nil && host != "" {
+		//dpclint:ignore headerkey X-Forwarded-For is appended to the outbound forwarding chain only; it never selects a response, so it cannot cross-serve
 		if prior := r.Header.Get("X-Forwarded-For"); prior != "" {
 			host = prior + ", " + host
 		}
@@ -596,7 +598,7 @@ func (p *Proxy) stageAssemble(rs *reqState) (stageOutcome, error) {
 				// the stale slots or the next template repeats the same
 				// doomed GET and every request aborts forever.
 				p.reg.Counter("dpc.stream_aborts").Inc()
-				p.reportStaleAsync(rs.r.URL.RequestURI(), stats.Stale)
+				p.reportStaleAsync(rs.r.Context(), rs.r.URL.RequestURI(), stats.Stale)
 			}
 		}
 		return stageNext, err
@@ -669,9 +671,15 @@ func (p *Proxy) fillStaticAssembled(rs *reqState, resp *http.Response, refs []St
 // the bypass and stale headers whose body is discarded. Without this the
 // directory keeps believing the slots are cached and every later template
 // repeats the doomed GETs.
-func (p *Proxy) reportStaleAsync(requestURI string, refs []StaleRef) {
+func (p *Proxy) reportStaleAsync(ctx context.Context, requestURI string, refs []StaleRef) {
+	// The report must outlive the request that spawned it — the client
+	// connection is already torn, so the request context is dead or
+	// dying — but it should keep the request's values (trace id) rather
+	// than detach entirely: WithoutCancel sheds the cancellation, the
+	// timeout below re-bounds the work.
+	ctx = context.WithoutCancel(ctx)
 	go func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 		defer cancel()
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.cfg.OriginURL+requestURI, nil)
 		if err != nil {

@@ -101,6 +101,7 @@ func staticKey(r *http.Request) string {
 	var b strings.Builder
 	b.WriteString(r.URL.RequestURI())
 	b.WriteByte(0)
+	//dpclint:ignore headerkey Accept-Encoding is folded into the static-tier variant key itself, and the proxy strips it toward the origin (it is not forwarded), so stored bodies cannot vary on it cross-user
 	b.WriteString(normalizeVariant(r.Header.Get("Accept-Encoding")))
 	return b.String()
 }

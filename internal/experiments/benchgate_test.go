@@ -1,0 +1,98 @@
+package experiments
+
+// Gate over the committed BENCH_<id>.json trajectory files: CI fails if
+// a committed record is malformed or drifts from the BenchRecord schema
+// (stale fields left behind after a schema change, hand-edits, truncated
+// writes). The experiments themselves rewrite these files; this test
+// only checks that what is committed still parses as what the code
+// writes today.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above package directory")
+		}
+		dir = parent
+	}
+}
+
+func TestCommittedBenchRecords(t *testing.T) {
+	root := repoRoot(t)
+	paths, err := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Skip("no committed BENCH_*.json records")
+	}
+	for _, path := range paths {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Strict decode: a field the current schema does not declare
+			// means the record predates a schema change and must be
+			// regenerated, not silently half-read.
+			dec := json.NewDecoder(bytes.NewReader(raw))
+			dec.DisallowUnknownFields()
+			var rec BenchRecord
+			if err := dec.Decode(&rec); err != nil {
+				t.Fatalf("%s does not parse as BenchRecord: %v", name, err)
+			}
+			var trailing json.RawMessage
+			if err := dec.Decode(&trailing); err == nil || !strings.Contains(err.Error(), "EOF") {
+				t.Fatalf("%s has trailing data after the record", name)
+			}
+
+			if want := "BENCH_" + rec.ID + ".json"; name != want {
+				t.Errorf("id %q does not match filename (want %s)", rec.ID, want)
+			}
+			if rec.Title == "" {
+				t.Error("empty title")
+			}
+			if _, err := time.Parse(time.RFC3339, rec.GeneratedAt); err != nil {
+				t.Errorf("generated_at %q is not RFC 3339: %v", rec.GeneratedAt, err)
+			}
+			if rec.Options.Requests <= 0 || rec.Options.Concurrency <= 0 {
+				t.Errorf("implausible options %+v: requests and concurrency must be positive", rec.Options)
+			}
+			if rec.Options.Warmup < 0 {
+				t.Errorf("negative warmup %d", rec.Options.Warmup)
+			}
+			if len(rec.Columns) == 0 {
+				t.Error("no columns")
+			}
+			if len(rec.Rows) == 0 {
+				t.Error("no rows")
+			}
+			for i, row := range rec.Rows {
+				if len(row) != len(rec.Columns) {
+					t.Errorf("row %d has %d cells, table has %d columns", i, len(row), len(rec.Columns))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package lint
+
+import "go/ast"
+
+// CtxFlowConfig parameterizes the ctxflow analyzer.
+type CtxFlowConfig struct {
+	// Forbidden maps banned context constructors
+	// ("context.Background", "context.TODO") to the suggestion shown
+	// in the finding.
+	Forbidden map[string]string
+}
+
+// CtxFlowAnalyzer forbids minting fresh root contexts inside
+// request-path packages. A context.Background() there detaches the work
+// from the traced request: cancellation stops propagating, trace ids
+// vanish from spans, and deadlines silently reset. Work that must
+// outlive the request derives from it with context.WithoutCancel, which
+// keeps the values (trace id) while shedding cancellation.
+func CtxFlowAnalyzer(cfg CtxFlowConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "request-path packages must thread the request context; context.Background/TODO detach tracing and cancellation",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				full := calleeFullName(pass.Info, call)
+				if hint, ok := cfg.Forbidden[full]; ok {
+					pass.Reportf(call.Pos(), "%s() on the request path detaches tracing and cancellation; %s", full, hint)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

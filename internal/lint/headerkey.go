@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"net/textproto"
+)
+
+// HeaderKeyConfig parameterizes the headerkey analyzer.
+type HeaderKeyConfig struct {
+	// Allowed holds canonical header names that may be read from the
+	// inbound request: the forwardedHeaders identity set (folded into
+	// the coalesce key) plus the declared response-invariant
+	// allowlist.
+	Allowed map[string]bool
+	// TrustedLists names package-level header slices
+	// ("dpcache/internal/dpc.forwardedHeaders") whose elements are
+	// by-construction allowed; a loop variable ranging over one may be
+	// passed as the header name.
+	TrustedLists map[string]bool
+}
+
+// HeaderKeyAnalyzer enforces the PR 3 lesson: a request header that can
+// change the response must be part of the coalesce identity key, or two
+// users' responses can cross-serve through a shared flight. Any
+// Header.Get/Header.Values on an inbound *http.Request must therefore
+// name a header in forwardedHeaders, in the declared response-invariant
+// allowlist, or carry a //dpclint:ignore arguing response invariance.
+// Reads on http.Response headers are out of scope (they describe the
+// origin's answer, not the client's identity).
+func HeaderKeyAnalyzer(cfg HeaderKeyConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "headerkey",
+		Doc:  "request-header reads must name a forwarded (coalesce-keyed) or declared response-invariant header",
+	}
+	a.Run = func(pass *Pass) {
+		trusted := trustedRangeVars(pass, cfg.TrustedLists)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				full := calleeFullName(pass.Info, call)
+				if full != "(net/http.Header).Get" && full != "(net/http.Header).Values" {
+					return true
+				}
+				if !isRequestHeaderExpr(pass.Info, call.Fun) || len(call.Args) != 1 {
+					return true
+				}
+				arg := call.Args[0]
+				if name, ok := constString(pass.Info, arg); ok {
+					if !cfg.Allowed[textproto.CanonicalMIMEHeaderKey(name)] {
+						pass.Reportf(arg.Pos(), "request header %q is read on the request path but is neither in forwardedHeaders (coalesce identity) nor in the response-invariant allowlist; a response that varies on it can cross-serve between users (the PR 3 bug class)", name)
+					}
+					return true
+				}
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if obj := identObject(pass.Info, id); obj != nil {
+						if _, ok := trusted[obj]; ok {
+							return true
+						}
+					}
+				}
+				pass.Reportf(arg.Pos(), "request-header name %s cannot be statically resolved; read only forwarded or declared response-invariant headers (or range over one of the trusted header lists)", types.ExprString(arg))
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isRequestHeaderExpr reports whether the call target is
+// <expr>.Header.Get/Values with <expr> of type *net/http.Request — the
+// inbound request, as opposed to an http.Response or a detached
+// http.Header value.
+func isRequestHeaderExpr(info *types.Info, fun ast.Expr) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || recv.Sel.Name != "Header" {
+		return false
+	}
+	tv, ok := info.Types[recv.X]
+	if !ok {
+		return false
+	}
+	return isNamedType(tv.Type, "net/http", "Request")
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves the function or method a call invokes, or nil for
+// calls through function values, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (http.Get): no selection entry.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// calleeFullName renders the called function as go/types does:
+// "net/http.Get", "(*net/http.Client).Do", "(net/http.Header).Get".
+// Empty for unresolvable callees.
+func calleeFullName(info *types.Info, call *ast.CallExpr) string {
+	if f := calleeFunc(info, call); f != nil {
+		return f.FullName()
+	}
+	return ""
+}
+
+// constString folds expr to its compile-time string value, if it has
+// one (string literals, named constants, and constant concatenations).
+func constString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// containsStringLiteralWithPrefix reports whether any string literal
+// inside expr starts with prefix — the signature of a dynamically
+// assembled name in a checked namespace.
+func containsStringLiteralWithPrefix(info *types.Info, expr ast.Expr, prefix string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := n.(ast.Expr); ok {
+			if s, ok := constString(info, lit); ok && strings.HasPrefix(s, prefix) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// namedOrPointee unwraps pointers and returns the named type under t,
+// or nil.
+func namedOrPointee(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamedType reports whether t (or its pointee) is the named type
+// pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n := namedOrPointee(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// trustedRangeVars maps loop-variable objects to the qualified name of
+// the trusted list they range over, for every `for _, v := range list`
+// in the pass whose list is a package-level variable in trusted (keyed
+// "pkgpath.varname"). An analyzer can then accept v where a literal
+// from the list would be accepted.
+func trustedRangeVars(pass *Pass, trusted map[string]bool) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if ok {
+				listObj := exprObject(pass.Info, rng.X)
+				if listObj == nil || listObj.Pkg() == nil {
+					return true
+				}
+				qual := listObj.Pkg().Path() + "." + listObj.Name()
+				if !trusted[qual] {
+					return true
+				}
+				if v, ok := rng.Value.(*ast.Ident); ok {
+					if obj := identObject(pass.Info, v); obj != nil {
+						out[obj] = qual
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// exprObject resolves an identifier or selector expression to the
+// object it names.
+func exprObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return identObject(info, e)
+	case *ast.SelectorExpr:
+		return identObject(info, e.Sel)
+	}
+	return nil
+}
+
+func identObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// pkgPathPrefixes builds an Applies predicate accepting packages whose
+// import path equals one of the prefixes or sits beneath one.
+func pkgPathPrefixes(prefixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, p := range prefixes {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,214 @@
+// Package lint is dpcache's project-invariant static-analysis driver.
+//
+// Seven PRs of cross-cutting contracts — every dpc.* metric documented in
+// the catalog, every request-header read folded into the coalesce key or
+// provably response-invariant, no blocking call under a shard lock, the
+// traced request context threaded through every stage — were enforced
+// only by runtime tests and reviewer memory. The analyzers here check
+// them at build time over the typechecked tree. The framework mirrors
+// golang.org/x/tools/go/analysis in miniature (Analyzer, Pass, Report)
+// but is built purely on the standard library so go.mod stays
+// dependency-free; see docs/LINTING.md for the invariant catalog and the
+// suppression directive.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one project invariant.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //dpclint:ignore directives.
+	Name string
+	// Doc is the one-paragraph invariant statement shown by -help.
+	Doc string
+	// Applies reports whether the analyzer runs on the package with
+	// the given import path. nil means every package.
+	Applies func(pkgPath string) bool
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	PkgPath string
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// DirectivePrefix introduces a suppression comment:
+//
+//	//dpclint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory: a suppression is a reviewed claim that the invariant
+// holds for non-mechanical reasons, and the claim must be stated.
+const DirectivePrefix = "dpclint:ignore"
+
+// directive is one parsed //dpclint:ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// RunPackage runs every applicable analyzer over pkg, applies
+// suppression directives, and returns the surviving diagnostics plus
+// driver-level findings (malformed, unknown-analyzer, or unused
+// directives — a stale suppression is itself a finding, so directives
+// cannot outlive the code they excuse).
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	known := make(map[string]bool, len(analyzers))
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+		if a.Applies != nil && !a.Applies(pkg.Path) {
+			continue
+		}
+		ran[a.Name] = true
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+			analyzer: a,
+			diags:    &raw,
+		}
+		a.Run(pass)
+	}
+
+	directives, malformed := collectDirectives(pkg)
+	var out []Diagnostic
+	out = append(out, malformed...)
+	for _, d := range raw {
+		if dir := matchDirective(directives, d); dir != nil {
+			dir.used = true
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, dir := range directives {
+		switch {
+		case !known[dir.analyzer]:
+			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "dpclint",
+				Message: fmt.Sprintf("//dpclint:ignore names unknown analyzer %q", dir.analyzer)})
+		case !dir.used && ran[dir.analyzer]:
+			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "dpclint",
+				Message: fmt.Sprintf("unused //dpclint:ignore directive: %s reports nothing here", dir.analyzer)})
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// RunPackages runs analyzers over every package and returns all
+// findings in deterministic order.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, RunPackage(pkg, analyzers)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// collectDirectives scans every comment in the package for
+// //dpclint:ignore directives. Malformed ones (missing analyzer or
+// reason) are returned as driver diagnostics.
+func collectDirectives(pkg *Package) ([]*directive, []Diagnostic) {
+	var dirs []*directive
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, DirectivePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: "dpclint",
+						Message:  "malformed directive: want //dpclint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				dirs = append(dirs, &directive{
+					pos:      pkg.Fset.Position(c.Pos()),
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// matchDirective finds a directive suppressing d: same analyzer, same
+// file, on the flagged line or the line directly above it.
+func matchDirective(dirs []*directive, d Diagnostic) *directive {
+	for _, dir := range dirs {
+		if dir.analyzer != d.Analyzer || dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+			return dir
+		}
+	}
+	return nil
+}

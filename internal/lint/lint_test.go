@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One loader for the whole test binary: the stdlib source-importing is
+// the expensive part and is memoized inside it.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loader
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	l := sharedLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// expectations parses the // want "rx" comments of every file in the
+// fixture, keyed "basename:line".
+func expectations(t *testing.T, pkg *Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	out := make(map[string][]*regexp.Regexp)
+	names, err := goSourceFiles(pkg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(pkg.Dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(b), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				rx, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, m[1], err)
+				}
+				key := fmt.Sprintf("%s:%d", name, i+1)
+				out[key] = append(out[key], rx)
+			}
+		}
+	}
+	return out
+}
+
+// runFixture runs the analyzers over the fixture through the full
+// driver (directives included) and matches the findings against the
+// // want comments: every want must be hit, every finding must be
+// wanted.
+func runFixture(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	want := expectations(t, pkg)
+	for _, d := range RunPackage(pkg, analyzers) {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		rxs := want[key]
+		matched := false
+		for i, rx := range rxs {
+			if rx.MatchString(d.Message) {
+				want[key] = append(rxs[:i], rxs[i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, rxs := range want {
+		for _, rx := range rxs {
+			t.Errorf("missing finding at %s: want match for %q", key, rx)
+		}
+	}
+}
+
+func fixtureMetricCatalog() *Analyzer {
+	return MetricCatalogAnalyzer(MetricCatalogConfig{
+		Funcs: map[string]int{
+			"(*dpcache/internal/metrics.Registry).Counter":   0,
+			"(*dpcache/internal/metrics.Registry).Gauge":     0,
+			"(*dpcache/internal/metrics.Registry).Histogram": 0,
+		},
+		Prefix: "dpc.",
+		Known:  map[string]bool{"dpc.requests": true, "dpc.store.resident": true},
+	})
+}
+
+func fixtureHeaderKey() *Analyzer {
+	return HeaderKeyAnalyzer(HeaderKeyConfig{
+		Allowed: map[string]bool{"X-User": true, "Cookie": true, "If-None-Match": true},
+		TrustedLists: map[string]bool{
+			"fixture/headerkey.trustedHeaders": true,
+		},
+	})
+}
+
+func fixtureCtxFlow() *Analyzer {
+	return CtxFlowAnalyzer(CtxFlowConfig{
+		Forbidden: map[string]string{
+			"context.Background": "derive from the request context",
+			"context.TODO":       "derive from the request context",
+		},
+	})
+}
+
+func fixtureLockScope() *Analyzer {
+	return LockScopeAnalyzer(LockScopeConfig{
+		DenyFuncs: map[string]string{
+			"net/http.Get":           "origin round trip",
+			"(*net/http.Client).Do":  "origin round trip",
+			"time.Sleep":             "sleep",
+			"(*sync.WaitGroup).Wait": "goroutine wait",
+			"io.ReadAll":             "unbounded read",
+			"io.Copy":                "unbounded copy",
+		},
+		FlagFuncValueCalls: true,
+	})
+}
+
+func TestMetricCatalogFixture(t *testing.T) { runFixture(t, "metriccatalog", fixtureMetricCatalog()) }
+func TestHeaderKeyFixture(t *testing.T)     { runFixture(t, "headerkey", fixtureHeaderKey()) }
+func TestCtxFlowFixture(t *testing.T)       { runFixture(t, "ctxflow", fixtureCtxFlow()) }
+func TestLockScopeFixture(t *testing.T)     { runFixture(t, "lockscope", fixtureLockScope()) }
+func TestUnlockPathFixture(t *testing.T)    { runFixture(t, "unlockpath", UnlockPathAnalyzer()) }
+
+// TestDirectives pins the driver's directive semantics: a used
+// suppression silences exactly its line, an unused one is itself a
+// finding, unknown analyzer names and missing reasons are findings.
+func TestDirectives(t *testing.T) {
+	pkg := loadFixture(t, "directives")
+	diags := RunPackage(pkg, []*Analyzer{fixtureCtxFlow()})
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d:%s", d.Pos.Line, d.Analyzer))
+	}
+	wantSubstr := []struct {
+		analyzer string
+		substr   string
+	}{
+		{"dpclint", "unused //dpclint:ignore"},
+		{"dpclint", "unknown analyzer"},
+		{"dpclint", "malformed directive"},
+		{"ctxflow", "context.Background"},
+	}
+	for _, w := range wantSubstr {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s finding containing %q in %v", w.analyzer, w.substr, got)
+		}
+	}
+	// Exactly these four: the two used suppressions must not surface as
+	// ctxflow findings or unused-directive findings.
+	if len(diags) != 4 {
+		for _, d := range diags {
+			t.Logf("finding: %s", d)
+		}
+		t.Errorf("got %d findings, want 4", len(diags))
+	}
+}
+
+// TestProjectTreeClean is the self-clean gate: the analyzers, as
+// configured for CI, report nothing on the real tree. This is the same
+// check `go run ./cmd/dpclint ./...` performs.
+func TestProjectTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module plus stdlib from source")
+	}
+	l := sharedLoader(t)
+	pkgs, err := l.LoadTree()
+	if err != nil {
+		t.Fatalf("load tree: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; tree walk is broken", len(pkgs))
+	}
+	for _, d := range RunPackages(pkgs, ProjectAnalyzers()) {
+		t.Errorf("finding on clean tree: %s", d)
+	}
+}

@@ -1,0 +1,357 @@
+package lint
+
+// A small abstract interpreter over function bodies tracking which
+// mutexes are held at each statement, shared by the lockscope and
+// unlockpath analyzers. It is deliberately conservative and syntactic:
+// a lock is identified by the rendered receiver expression of its
+// Lock() call ("sh.mu", with an #r suffix for read locks), branches
+// merge by union (held-on-any-path counts as held), branches that
+// provably terminate (return, panic, os.Exit) do not contribute to the
+// merged fall-through state, `defer mu.Unlock()` marks the lock as
+// released on every later exit, and loop bodies are analyzed once with
+// the post-loop state taken from the pre-loop state (the store loops
+// are lock-neutral; a lock deliberately escaping a loop needs a
+// suppression). Function literals do not inherit the enclosing lock
+// state — a goroutine body runs after Unlock may have returned — and
+// are analyzed separately with a fresh state.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockInfo describes one held lock.
+type lockInfo struct {
+	pos      token.Pos // the Lock() call
+	deferred bool      // a defer Unlock() covers every later exit
+}
+
+// lockState maps lock key → info for locks held at a program point.
+type lockState map[string]*lockInfo
+
+func (st lockState) clone() lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}
+
+// mergeLockStates unions two fall-through states. A lock held on only
+// one path stays held (conservative); deferred only if deferred on
+// every path that holds it.
+func mergeLockStates(a, b lockState) lockState {
+	out := a.clone()
+	for k, v := range b {
+		if cur, ok := out[k]; ok {
+			cur.deferred = cur.deferred && v.deferred
+		} else {
+			cp := *v
+			out[k] = &cp
+		}
+	}
+	for k, cur := range out {
+		if v, ok := b[k]; ok {
+			cur.deferred = cur.deferred && v.deferred
+		}
+	}
+	return out
+}
+
+// lockWalker drives the interpretation, with analyzer-specific hooks.
+type lockWalker struct {
+	pass *Pass
+	// onCall fires for every resolved call evaluated while at least
+	// one lock is held (lock/unlock operations themselves excluded).
+	onCall func(call *ast.CallExpr, held lockState)
+	// onSelect fires for every select statement reached while at
+	// least one lock is held.
+	onSelect func(sel *ast.SelectStmt, held lockState)
+	// onExit fires at every return statement and at function-end
+	// fall-through with the locks held there.
+	onExit func(pos token.Pos, held lockState)
+}
+
+// walkFuncs runs the walker over every function body in the pass:
+// declarations and, independently and with fresh state, every function
+// literal.
+func (w *lockWalker) walkFuncs() {
+	for _, f := range w.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			st, terminated := w.walkStmts(body.List, make(lockState))
+			if !terminated && w.onExit != nil {
+				w.onExit(body.Rbrace, st)
+			}
+			return true // descend: nested FuncLits get their own fresh walk
+		})
+	}
+}
+
+// walkStmts interprets a statement list. It returns the fall-through
+// state and whether every path through the list terminates (so no
+// fall-through exists).
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		st, terminated = w.stmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st lockState) (lockState, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, op := w.lockOp(call); op != "" {
+				w.applyLockOp(st, key, op, call.Pos())
+				w.scanCalls(st, call.Args...)
+				return st, false
+			}
+			if isTerminatorCall(w.pass.Info, call) {
+				w.scanCalls(st, call.Args...)
+				return st, true
+			}
+		}
+		w.scanCalls(st, s.X)
+		return st, false
+	case *ast.DeferStmt:
+		if key, op := w.lockOp(s.Call); op == "unlock" || op == "runlock" {
+			if li, ok := st[key]; ok {
+				li.deferred = true
+			}
+			return st, false
+		}
+		// A deferred call runs at return; if a lock is still held
+		// there it runs under it. Treat it as a call made now —
+		// conservative but simple.
+		w.scanCalls(st, s.Call)
+		return st, false
+	case *ast.ReturnStmt:
+		w.scanCalls(st, s.Results...)
+		if w.onExit != nil {
+			w.onExit(s.Pos(), st)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current statement list; the
+		// enclosing loop's post-state is the pre-loop state, so this
+		// path simply stops contributing.
+		return st, true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scanCalls(st, s.Cond)
+		thenSt, thenTerm := w.walkStmts(s.Body.List, st.clone())
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return mergeLockStates(thenSt, elseSt), false
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scanCalls(st, s.Tag)
+		return w.branches(st, caseBodies(s.Body), hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		return w.branches(st, caseBodies(s.Body), hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		if len(st) > 0 && w.onSelect != nil {
+			w.onSelect(s, st)
+		}
+		return w.branches(st, caseBodies(s.Body), true)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scanCalls(st, s.Cond)
+		body := st.clone()
+		body, _ = w.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		return st, false
+	case *ast.RangeStmt:
+		w.scanCalls(st, s.X)
+		w.walkStmts(s.Body.List, st.clone())
+		return st, false
+	case *ast.GoStmt:
+		// The goroutine body does not run under the caller's locks;
+		// only the argument expressions are evaluated now.
+		w.scanCalls(st, s.Call.Args...)
+		return st, false
+	case *ast.AssignStmt:
+		w.scanCalls(st, s.Rhs...)
+		w.scanCalls(st, s.Lhs...)
+		return st, false
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		w.scanCallsNode(st, s)
+		return st, false
+	default:
+		return st, false
+	}
+}
+
+// branches analyzes each clause body from a copy of st and merges the
+// fall-through states. Without a default clause the pre-state is a
+// possible outcome too.
+func (w *lockWalker) branches(st lockState, bodies [][]ast.Stmt, exhaustive bool) (lockState, bool) {
+	var fallthroughs []lockState
+	for _, body := range bodies {
+		out, term := w.walkStmts(body, st.clone())
+		if !term {
+			fallthroughs = append(fallthroughs, out)
+		}
+	}
+	if !exhaustive || len(bodies) == 0 {
+		fallthroughs = append(fallthroughs, st)
+	}
+	if len(fallthroughs) == 0 {
+		return st, true
+	}
+	out := fallthroughs[0]
+	for _, f := range fallthroughs[1:] {
+		out = mergeLockStates(out, f)
+	}
+	return out, false
+}
+
+func (w *lockWalker) applyLockOp(st lockState, key, op string, pos token.Pos) {
+	switch op {
+	case "lock", "rlock":
+		st[key] = &lockInfo{pos: pos}
+	case "unlock", "runlock":
+		delete(st, key)
+	}
+}
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock on sync.Mutex,
+// sync.RWMutex, or sync.Locker receivers and returns a stable key for
+// the mutex plus the operation. Read and write locks of an RWMutex get
+// distinct keys: they pair with their own release.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (key, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch calleeFullName(w.pass.Info, call) {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(sync.Locker).Lock":
+		op = "lock"
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(sync.Locker).Unlock":
+		op = "unlock"
+	case "(*sync.RWMutex).RLock":
+		op = "rlock"
+	case "(*sync.RWMutex).RUnlock":
+		op = "runlock"
+	default:
+		return "", ""
+	}
+	key = types.ExprString(sel.X)
+	if op == "rlock" || op == "runlock" {
+		key += "#r"
+	}
+	return key, op
+}
+
+// scanCalls reports (via onCall) every resolved call inside the given
+// expressions while a lock is held. Function-literal bodies are not
+// descended into: they execute when invoked, under their own state.
+func (w *lockWalker) scanCalls(st lockState, exprs ...ast.Expr) {
+	for _, e := range exprs {
+		if e != nil {
+			w.scanCallsNode(st, e)
+		}
+	}
+}
+
+func (w *lockWalker) scanCallsNode(st lockState, n ast.Node) {
+	if len(st) == 0 || w.onCall == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if _, op := w.lockOp(n); op == "" {
+				w.onCall(n, st)
+			}
+		}
+		return true
+	})
+}
+
+// isTerminatorCall reports calls that never return: panic and the
+// process/goroutine terminators.
+func isTerminatorCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			return true
+		}
+	}
+	switch calleeFullName(info, call) {
+	case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+		return true
+	}
+	return false
+}
+
+func caseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			stmts := c.Body
+			if c.Comm != nil {
+				stmts = append([]ast.Stmt{c.Comm}, stmts...)
+			}
+			out = append(out, stmts)
+		}
+	}
+	return out
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockScopeConfig parameterizes the lockscope analyzer.
+type LockScopeConfig struct {
+	// DenyFuncs maps blocked-call full names (network round trips,
+	// sleeps, waits, unbounded reads) to a short phrase naming the
+	// hazard.
+	DenyFuncs map[string]string
+	// FlagFuncValueCalls also reports calls through function values
+	// (callbacks, injected predicates) made under a lock: the callee
+	// is unknowable statically, so the caller must prove it cannot
+	// block and suppress.
+	FlagFuncValueCalls bool
+}
+
+// LockScopeAnalyzer forbids blocking operations under a shard lock. A
+// store shard's mutex serializes every reader and writer of that shard;
+// an origin round trip or channel wait held under it turns one slow
+// origin into a store-wide stall. Channel selects under a lock are
+// flagged unconditionally.
+func LockScopeAnalyzer(cfg LockScopeConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "lockscope",
+		Doc:  "no blocking call (HTTP round trip, sleep, wait, select) may run between a shard Lock() and its Unlock()",
+	}
+	a.Run = func(pass *Pass) {
+		w := &lockWalker{pass: pass}
+		w.onCall = func(call *ast.CallExpr, held lockState) {
+			f := calleeFunc(pass.Info, call)
+			if f == nil {
+				if cfg.FlagFuncValueCalls && isFuncValueCall(pass.Info, call) {
+					pass.Reportf(call.Pos(), "call through function value %s while holding %s: the callee is not statically known and may block; prove it cannot and suppress", types.ExprString(call.Fun), heldKeys(held))
+				}
+				return
+			}
+			if hazard, ok := cfg.DenyFuncs[f.FullName()]; ok {
+				pass.Reportf(call.Pos(), "%s (%s) called while holding %s: a blocked call stalls every request hashing to this shard", f.FullName(), hazard, heldKeys(held))
+			}
+		}
+		w.onSelect = func(sel *ast.SelectStmt, held lockState) {
+			pass.Reportf(sel.Pos(), "select while holding %s: a channel wait under a shard lock stalls every request hashing to this shard", heldKeys(held))
+		}
+		w.walkFuncs()
+	}
+	return a
+}
+
+// isFuncValueCall reports a call whose operand is a plain expression of
+// function type — not a declared func/method, builtin, or conversion.
+func isFuncValueCall(info *types.Info, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	tv, ok := info.Types[fun]
+	if !ok || !tv.IsValue() {
+		return false // conversion, builtin, or unresolved
+	}
+	if _, ok := tv.Type.Underlying().(*types.Signature); !ok {
+		return false
+	}
+	// Exclude identifiers bound to declared functions (local helper
+	// calls are fine; they are walked as their own bodies).
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isFunc := info.Uses[id].(*types.Func); isFunc {
+			return false
+		}
+	}
+	return true
+}
+
+// heldKeys renders the held lock set for a finding, deterministically.
+func heldKeys(held lockState) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += ", "
+		}
+		out += k
+	}
+	return out
+}
+
+// UnlockPathAnalyzer enforces that every acquired lock is released on
+// every return path, by defer or by an explicit unlock on each branch.
+// A missed path deadlocks the shard the first time it executes — and
+// the paths that miss are exactly the rare error branches tests don't
+// reach.
+func UnlockPathAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "unlockpath",
+		Doc:  "every Lock() must be released on all return paths (defer or every-branch unlock)",
+	}
+	a.Run = func(pass *Pass) {
+		w := &lockWalker{pass: pass}
+		w.onExit = func(pos token.Pos, held lockState) {
+			for key, li := range held {
+				if !li.deferred {
+					pass.Reportf(pos, "%s is still held on this return path (locked at %s); unlock on every path or defer the unlock", key, pass.Fset.Position(li.pos))
+				}
+			}
+		}
+		w.walkFuncs()
+	}
+	return a
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MetricCatalogConfig parameterizes the metriccatalog analyzer.
+type MetricCatalogConfig struct {
+	// Funcs maps a metric-constructor full name (as rendered by
+	// (*types.Func).FullName, e.g.
+	// "(*dpcache/internal/metrics.Registry).Counter") to the index of
+	// its metric-name argument.
+	Funcs map[string]int
+	// Prefix is the governed namespace ("dpc."). Names outside it
+	// (origin.*, router.*, experiment-local registries) are not the
+	// proxy's surface and are ignored.
+	Prefix string
+	// Known is the set of catalog-documented metric names.
+	Known map[string]bool
+}
+
+// MetricCatalogAnalyzer enforces that every metric name in the governed
+// namespace handed to a metrics constructor is documented in
+// dpc.MetricCatalog. TestMetricsDocumented catches drift only for
+// metrics a test actually publishes; this catches every call site at
+// build time, including cold paths. A name assembled dynamically from a
+// governed-prefix literal cannot be checked and must carry a
+// //dpclint:ignore with the argument for why the catalog still covers
+// it.
+func MetricCatalogAnalyzer(cfg MetricCatalogConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "metriccatalog",
+		Doc:  "every " + cfg.Prefix + "* metric name passed to a metrics constructor must appear in dpc.MetricCatalog",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				idx, ok := cfg.Funcs[calleeFullName(pass.Info, call)]
+				if !ok || idx >= len(call.Args) {
+					return true
+				}
+				arg := call.Args[idx]
+				if name, ok := constString(pass.Info, arg); ok {
+					if len(name) >= len(cfg.Prefix) && name[:len(cfg.Prefix)] == cfg.Prefix && !cfg.Known[name] {
+						pass.Reportf(arg.Pos(), "metric %q is not documented in dpc.MetricCatalog (docs/METRICS.md)", name)
+					}
+					return true
+				}
+				if containsStringLiteralWithPrefix(pass.Info, arg, cfg.Prefix) {
+					pass.Reportf(arg.Pos(), "dynamically constructed %s* metric name %s cannot be checked against dpc.MetricCatalog; add a //dpclint:ignore stating why the catalog covers every value it can take", cfg.Prefix, types.ExprString(arg))
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"net/textproto"
+
+	"dpcache/internal/dpc"
+)
+
+// Import paths the analyzers scope to.
+const (
+	pkgDPC      = "dpcache/internal/dpc"
+	pkgFragment = "dpcache/internal/fragstore"
+	pkgDepindex = "dpcache/internal/depindex"
+	pkgTmplplan = "dpcache/internal/tmplplan"
+)
+
+// requestPathPkgs are the packages a live request flows through (or
+// that run on its behalf): minting a fresh root context in any of them
+// severs tracing and cancellation from the request.
+var requestPathPkgs = []string{
+	pkgDPC, pkgFragment, pkgDepindex, pkgTmplplan,
+	"dpcache/internal/pagecache",
+	"dpcache/internal/trace",
+	"dpcache/internal/origin",
+	"dpcache/internal/coherency",
+}
+
+// ProjectAnalyzers builds the five dpcache analyzers wired to the
+// project's real contracts: the live MetricCatalog, the live
+// forwardedHeaders and response-invariant sets (via internal/dpc), the
+// shard-lock deny list, and the request-path package scopes. This is
+// the configuration `go run ./cmd/dpclint ./...` enforces in CI.
+func ProjectAnalyzers() []*Analyzer {
+	catalog := make(map[string]bool)
+	for _, m := range dpc.MetricCatalog() {
+		catalog[m.Name] = true
+	}
+
+	headers := make(map[string]bool)
+	for _, h := range dpc.ForwardedHeaders() {
+		headers[textproto.CanonicalMIMEHeaderKey(h)] = true
+	}
+	for _, h := range dpc.ResponseInvariantHeaders() {
+		headers[textproto.CanonicalMIMEHeaderKey(h)] = true
+	}
+
+	metric := MetricCatalogAnalyzer(MetricCatalogConfig{
+		Funcs: map[string]int{
+			"(*dpcache/internal/metrics.Registry).Counter":   0,
+			"(*dpcache/internal/metrics.Registry).Gauge":     0,
+			"(*dpcache/internal/metrics.Registry).Histogram": 0,
+		},
+		Prefix: "dpc.",
+		Known:  catalog,
+	})
+
+	headerkey := HeaderKeyAnalyzer(HeaderKeyConfig{
+		Allowed: headers,
+		TrustedLists: map[string]bool{
+			pkgDPC + ".forwardedHeaders":        true,
+			pkgDPC + ".coalesceIdentityHeaders": true,
+			pkgDPC + ".pageIdentityHeaders":     true,
+		},
+	})
+	headerkey.Applies = pkgPathPrefixes(pkgDPC)
+
+	lockscope := LockScopeAnalyzer(LockScopeConfig{
+		DenyFuncs: map[string]string{
+			"net/http.Get":                          "origin round trip",
+			"net/http.Head":                         "origin round trip",
+			"net/http.Post":                         "origin round trip",
+			"net/http.PostForm":                     "origin round trip",
+			"(*net/http.Client).Do":                 "origin round trip",
+			"(*net/http.Client).Get":                "origin round trip",
+			"(*net/http.Client).Head":               "origin round trip",
+			"(*net/http.Client).Post":               "origin round trip",
+			"(*net/http.Client).PostForm":           "origin round trip",
+			"(*net/http.Transport).RoundTrip":       "origin round trip",
+			"(net/http.RoundTripper).RoundTrip":     "origin round trip",
+			"(*dpcache/internal/routing.Router).Do": "routed origin round trip",
+			// sync.Cond.Wait is deliberately absent: it atomically
+			// releases the associated mutex while waiting, so a wait
+			// under a lock is the condvar protocol, not a stall.
+			"time.Sleep":             "sleep",
+			"(*sync.WaitGroup).Wait": "goroutine wait",
+			"io.ReadAll":             "unbounded read",
+			"io.Copy":                "unbounded copy",
+		},
+		FlagFuncValueCalls: true,
+	})
+	lockscope.Applies = pkgPathPrefixes(pkgFragment, pkgDepindex, pkgTmplplan,
+		"dpcache/internal/repository")
+
+	ctxflow := CtxFlowAnalyzer(CtxFlowConfig{
+		Forbidden: map[string]string{
+			"context.Background": "derive from the request context (context.WithoutCancel(ctx) for work that must outlive the response)",
+			"context.TODO":       "derive from the request context (context.WithoutCancel(ctx) for work that must outlive the response)",
+		},
+	})
+	ctxflow.Applies = pkgPathPrefixes(requestPathPkgs...)
+
+	// unlockpath runs tree-wide: a leaked lock is a deadlock anywhere,
+	// and the analyzer is cheap.
+	unlockpath := UnlockPathAnalyzer()
+
+	return []*Analyzer{metric, headerkey, lockscope, ctxflow, unlockpath}
+}

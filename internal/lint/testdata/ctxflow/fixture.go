@@ -1,0 +1,14 @@
+// Golden corpus for the ctxflow analyzer.
+package fixture
+
+import "context"
+
+func spawn(ctx context.Context) context.Context {
+	_ = context.Background() // want "context.Background.. on the request path"
+	_ = context.TODO()       // want "context.TODO.. on the request path"
+
+	detached := context.WithoutCancel(ctx) // deriving from the request context: ok
+	c, cancel := context.WithTimeout(detached, 0)
+	cancel()
+	return c
+}

@@ -1,0 +1,42 @@
+// Corpus for the driver's directive handling, exercised by
+// TestDirectives (which asserts exact diagnostics rather than // want
+// comments, since the findings under test are about the directives
+// themselves).
+package fixture
+
+import "context"
+
+// A used suppression: the flagged call on the next line is silenced.
+func suppressed() {
+	//dpclint:ignore ctxflow fixture demonstrates a reviewed suppression
+	_ = context.Background()
+}
+
+// Same-line form.
+func suppressedSameLine() {
+	_ = context.Background() //dpclint:ignore ctxflow fixture demonstrates the same-line form
+}
+
+// An unused suppression: nothing on the next line is flagged, so the
+// directive itself becomes a finding.
+func unused() {
+	//dpclint:ignore ctxflow nothing here actually trips the analyzer
+	_ = context.WithoutCancel(context.WithValue(todoFree(), ctxKey{}, 1))
+}
+
+// A directive naming an analyzer that does not exist.
+func unknown() {
+	//dpclint:ignore nosuchanalyzer typo in the analyzer name
+	_ = 1
+}
+
+// A directive with no reason is malformed: a suppression is a reviewed
+// claim and the claim must be stated.
+func malformed() {
+	//dpclint:ignore ctxflow
+	_ = context.Background()
+}
+
+type ctxKey struct{}
+
+func todoFree() context.Context { return context.WithoutCancel(context.Background()) } //dpclint:ignore ctxflow helper exists so unused() has a clean context source

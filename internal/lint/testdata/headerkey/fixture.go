@@ -1,0 +1,33 @@
+// Golden corpus for the headerkey analyzer. The test configures the
+// analyzer with Allowed = {X-User, Cookie, If-None-Match} and
+// TrustedLists = {fixture/headerkey.trustedHeaders}.
+package fixture
+
+import "net/http"
+
+var trustedHeaders = []string{"X-User", "Cookie"}
+
+var untrustedHeaders = []string{"X-Secret"}
+
+func read(r *http.Request, resp *http.Response, h http.Header, dynamic string) {
+	_ = r.Header.Get("X-User")        // forwarded: ok
+	_ = r.Header.Get("cookie")        // canonicalized before the check: ok
+	_ = r.Header.Get("If-None-Match") // response-invariant: ok
+
+	_ = r.Header.Get("X-Secret")    // want "request header .X-Secret. is read on the request path"
+	_ = r.Header.Values("X-Tenant") // want "request header .X-Tenant. is read on the request path"
+
+	//dpclint:ignore headerkey fixture demonstrates a reviewed suppression
+	_ = r.Header.Get("X-Reviewed") // suppressed by the directive above
+
+	_ = resp.Header.Get("X-Anything") // response headers are out of scope
+	_ = h.Get("X-Anything")           // detached header values are out of scope
+
+	for _, name := range trustedHeaders {
+		_ = r.Header.Get(name) // ranging over a trusted list: ok
+	}
+	for _, name := range untrustedHeaders {
+		_ = r.Header.Get(name) // want "cannot be statically resolved"
+	}
+	_ = r.Header.Get(dynamic) // want "cannot be statically resolved"
+}

@@ -1,0 +1,93 @@
+// Golden corpus for the lockscope analyzer. The test configures the
+// deny list with the project's entries (net/http round trips,
+// time.Sleep, WaitGroup.Wait, io.ReadAll/Copy) and
+// FlagFuncValueCalls.
+package fixture
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]string
+}
+
+func (s *shard) deniedUnderDefer(url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	http.Get(url) // want "origin round trip"
+}
+
+func (s *shard) deniedBetweenLockUnlock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "sleep"
+	s.mu.Unlock()
+}
+
+func (s *shard) deniedUnderReadLock(url string) {
+	s.rw.RLock()
+	http.Get(url) // want "origin round trip"
+	s.rw.RUnlock()
+}
+
+func (s *shard) deniedInBranch(url string, cond bool) {
+	s.mu.Lock()
+	if cond {
+		http.Get(url) // want "origin round trip"
+	}
+	s.mu.Unlock()
+}
+
+func (s *shard) selectUnderLock(ch chan int) {
+	s.mu.Lock()
+	select { // want "select while holding s.mu"
+	case <-ch:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *shard) callbackUnderLock(pred func(string) bool) {
+	s.mu.Lock()
+	pred("k") // want "call through function value pred"
+	s.mu.Unlock()
+}
+
+func (s *shard) okAfterUnlock(url string) {
+	s.mu.Lock()
+	v := s.m["k"]
+	s.mu.Unlock()
+	http.Get(url + v) // lock already released: ok
+}
+
+func (s *shard) okAfterEarlyReturn(url string) {
+	s.mu.Lock()
+	if len(s.m) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	http.Get(url) // every path released before this: ok
+}
+
+func (s *shard) okInGoroutine(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		http.Get("http://example.test") // goroutine does not hold the caller's lock: ok
+	}()
+}
+
+func (s *shard) okMethodCall() {
+	s.mu.Lock()
+	s.touch() // calls to declared functions outside the deny list: ok
+	s.mu.Unlock()
+}
+
+func (s *shard) touch() {}

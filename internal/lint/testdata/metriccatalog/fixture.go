@@ -1,0 +1,23 @@
+// Golden corpus for the metriccatalog analyzer: a want-comment marks a
+// line the analyzer must flag with a message matching the quoted
+// pattern; every other line must stay silent.
+package fixture
+
+import "dpcache/internal/metrics"
+
+func use(reg *metrics.Registry, dynamic string) {
+	reg.Counter("dpc.requests").Inc()      // documented in the catalog
+	reg.Gauge("dpc.store.resident").Set(1) // documented in the catalog
+	reg.Counter("origin.requests").Inc()   // other namespace: not governed
+
+	reg.Counter("dpc.bogus_counter").Inc()                // want "dpc.bogus_counter. is not documented in dpc.MetricCatalog"
+	reg.Gauge("dpc.bogus_gauge").Set(1)                   // want "dpc.bogus_gauge. is not documented"
+	reg.Histogram("dpc.bogus_histogram").Observe(0)       // want "dpc.bogus_histogram. is not documented"
+	reg.Histogram("dpc.stage." + dynamic + ".latency")    // want "dynamically constructed"
+	reg.Counter(dynamic)                                  // dynamic but no governed literal inside: not checkable, not flagged
+	reg.Counter("dpc." + "requests").Inc()                // constant folding: still the documented name
+	reg.Counter("dpc.nope_" + dynamic).Inc()              // want "dynamically constructed"
+	helperTakingName("dpc.unchecked_but_not_constructor") // only constructor calls are governed
+}
+
+func helperTakingName(string) {}

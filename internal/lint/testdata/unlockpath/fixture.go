@@ -1,0 +1,83 @@
+// Golden corpus for the unlockpath analyzer.
+package fixture
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+func (s *store) leakOnErrorPath(k string) int {
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		return -1 // want "s.mu is still held on this return path"
+	}
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) leakAtFallthrough() {
+	s.mu.Lock()
+	s.m["k"] = 1
+} // want "s.mu is still held on this return path"
+
+func (s *store) leakReadLock(k string) (int, bool) {
+	s.rw.RLock()
+	v, ok := s.m[k]
+	if !ok {
+		s.rw.RUnlock()
+		return 0, false
+	}
+	return v, true // want "s.rw#r is still held on this return path"
+}
+
+func (s *store) okDefer(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+func (s *store) okEveryBranch(k string) int {
+	s.mu.Lock()
+	if v, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *store) okStraightLine(k string) int {
+	s.rw.RLock()
+	v := s.m[k]
+	s.rw.RUnlock()
+	return v
+}
+
+func (s *store) okSwitch(k string, mode int) int {
+	s.mu.Lock()
+	switch mode {
+	case 0:
+		s.mu.Unlock()
+		return 0
+	default:
+		v := s.m[k]
+		s.mu.Unlock()
+		return v
+	}
+}
+
+func (s *store) okLockNeutralLoop(keys []string) int {
+	n := 0
+	for _, k := range keys {
+		s.mu.Lock()
+		if _, ok := s.m[k]; ok {
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -106,10 +106,14 @@ func (r *Repo) publish(ev UpdateEvent) {
 // Put upserts a row and returns its new version. The update bus fires
 // after the write commits.
 func (r *Repo) Put(k Key, fields map[string]string) uint64 {
-	r.mu.Lock()
+	// Charge the simulated update latency before taking the table
+	// lock, mirroring Get: the delay models query processing, and
+	// sleeping under the lock would serialize every unrelated read and
+	// write behind one slow update.
 	if r.lat.UpdateDelay > 0 {
 		time.Sleep(r.lat.UpdateDelay)
 	}
+	r.mu.Lock()
 	t, ok := r.tables[k.Table]
 	if !ok {
 		t = make(map[string]Row)

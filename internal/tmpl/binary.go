@@ -242,8 +242,8 @@ func (d *binDecoder) readTag() (Instruction, error) {
 		if n > 1<<30 {
 			return Instruction{}, corrupt("SET len %d exceeds limit", n)
 		}
-		content := make([]byte, n)
-		if _, err := io.ReadFull(d.r, content); err != nil {
+		content, err := readSetContent(d.r, n)
+		if err != nil {
 			return Instruction{}, corrupt("SET content: %v", err)
 		}
 		var close [5]byte

@@ -246,8 +246,8 @@ func (d *textDecoder) readTag() (Instruction, error) {
 		if n > 1<<30 {
 			return Instruction{}, corrupt("SET len %d exceeds limit", n)
 		}
-		content := make([]byte, n)
-		if _, err := io.ReadFull(d.r, content); err != nil {
+		content, err := readSetContent(d.r, n)
+		if err != nil {
 			return Instruction{}, corrupt("SET content: %v", err)
 		}
 		if err := d.expect("</dpc:set>"); err != nil {

@@ -25,10 +25,24 @@
 package tmpl
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 )
+
+// readSetContent reads exactly n bytes of SET payload without trusting n
+// for the allocation: a corrupt length header can claim a gigabyte the
+// stream never delivers, and sizing the buffer up front would turn a
+// few-byte template into a giant allocation. The buffer grows only as
+// bytes actually arrive.
+func readSetContent(r io.Reader, n uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
 
 // Op identifies an instruction kind.
 type Op byte
