@@ -56,6 +56,11 @@ func BenchmarkFig6(b *testing.B)      { benchExperiment(b, "fig6") }
 func BenchmarkCaseStudy(b *testing.B) { benchExperiment(b, "casestudy") }
 func BenchmarkBaselines(b *testing.B) { benchExperiment(b, "baselines") }
 
+// BenchmarkSaturation sweeps offered load past the fault-injected
+// origin's capacity with admission control off and on (the overload
+// experiment; see BENCH_saturation.json for the committed trajectory).
+func BenchmarkSaturation(b *testing.B) { benchExperiment(b, "saturation") }
+
 // startBenchSystem stands up a cached-mode system running the synthetic
 // site and returns a warmed fetch function.
 func startBenchSystem(b *testing.B, cfg dpcache.SystemConfig, codecName string) (fetch func(page int), close func()) {

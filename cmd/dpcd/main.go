@@ -123,6 +123,15 @@ func main() {
 	traceSlow := flag.Duration("trace-slow", 0, "always capture and log requests at least this slow (0 = 250ms default, negative = disabled)")
 	traceRing := flag.Int("trace-ring", 0, "captured-trace ring size served by /_dpc/trace (0 = 256 default)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /_dpc/pprof/ (exposes runtime profiles on the serving listener)")
+	admission := flag.Bool("admission", false, "admission control: under origin pressure serve stale from the cache tiers or shed with 503 + Retry-After instead of queueing")
+	admitInFlight := flag.Int("admission-inflight", 0, "admission: max concurrent origin-bound requests (0 = unbounded)")
+	admitKey := flag.Int("admission-key-inflight", 0, "admission: max concurrent origin-bound requests per coalesce key (0 = unbounded)")
+	admitTenant := flag.Int("admission-tenant-inflight", 0, "admission: max concurrent origin-bound requests per X-User tenant (0 = unbounded)")
+	admitQueue := flag.Int("admission-queue", 0, "admission: max followers parked on one coalesce flight before shedding (0 = unbounded)")
+	admitShedLat := flag.Duration("admission-shed-latency", 0, "admission: origin latency EWMA past which stale serving is preferred (0 = signal off)")
+	admitStale := flag.Duration("admission-stale-window", 0, "admission: how far past TTL a cache entry may be served under pressure (0 = 30s default)")
+	admitNegTTL := flag.Duration("admission-neg-ttl", 0, "admission: negative-cache lifetime of origin failures (0 = 1s default)")
+	admitRetry := flag.Duration("admission-retry-after", 0, "admission: Retry-After hint on shed 503s (0 = 1s default)")
 	flag.Parse()
 
 	codec, err := tmpl.ByName(*codecName)
@@ -166,6 +175,15 @@ func main() {
 		TraceSlow:           *traceSlow,
 		TraceRingSize:       *traceRing,
 		Pprof:               *pprofOn,
+		Admission:           *admission,
+		MaxOriginInFlight:   *admitInFlight,
+		MaxKeyInFlight:      *admitKey,
+		MaxTenantInFlight:   *admitTenant,
+		MaxFlightWaiters:    *admitQueue,
+		ShedLatency:         *admitShedLat,
+		StaleWindow:         *admitStale,
+		NegTTL:              *admitNegTTL,
+		RetryAfter:          *admitRetry,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -26,6 +26,14 @@ func main() {
 	capacity := flag.Int("capacity", 4096, "BEM fragment capacity")
 	codecName := flag.String("codec", "binary", "template codec: binary or text")
 	headerPad := flag.Int("headerpad", 0, "extra response-header padding bytes")
+	faultLatency := flag.Duration("fault-latency", 0, "fault injection: base latency added to every page/static request")
+	faultJitter := flag.Duration("fault-jitter", 0, "fault injection: uniform random extra latency in [0, jitter)")
+	faultErrorRate := flag.Float64("fault-error-rate", 0, "fault injection: probability a request is answered 500")
+	faultHangRate := flag.Float64("fault-hang-rate", 0, "fault injection: probability a request stalls for -fault-hang")
+	faultHang := flag.Duration("fault-hang", 0, "fault injection: stall applied to hung requests (0 = 5s)")
+	faultAbortRate := flag.Float64("fault-abort-rate", 0, "fault injection: probability a response is torn mid-body")
+	faultConcurrency := flag.Int("fault-concurrency", 0, "fault injection: origin worker-pool size; excess requests queue (0 = unbounded)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault injection: RNG seed for reproducible draws (0 = 1)")
 	flag.Parse()
 
 	codec, err := tmpl.ByName(*codecName)
@@ -44,11 +52,27 @@ func main() {
 		log.Fatalf("origind: unknown mode %q", *mode)
 	}
 
+	var faults *origin.FaultInjector
+	if *faultLatency > 0 || *faultJitter > 0 || *faultErrorRate > 0 ||
+		*faultHangRate > 0 || *faultAbortRate > 0 || *faultConcurrency > 0 {
+		faults = origin.NewFaultInjector(origin.FaultConfig{
+			Latency:       *faultLatency,
+			Jitter:        *faultJitter,
+			ErrorRate:     *faultErrorRate,
+			HangRate:      *faultHangRate,
+			Hang:          *faultHang,
+			AbortRate:     *faultAbortRate,
+			MaxConcurrent: *faultConcurrency,
+			Seed:          *faultSeed,
+		})
+	}
+
 	srv, err := origin.New(origin.Config{
 		Repo:             repo,
 		Monitor:          mon,
 		Codec:            codec,
 		ExtraHeaderBytes: *headerPad,
+		Faults:           faults,
 	})
 	if err != nil {
 		log.Fatal(err)

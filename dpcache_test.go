@@ -95,7 +95,7 @@ func TestFacadeSitesRender(t *testing.T) {
 
 func TestFacadeExperimentCatalogue(t *testing.T) {
 	ids := dpcache.ExperimentIDs()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Fatalf("ids = %v", ids)
 	}
 	tab, err := dpcache.RunExperiment("table2", dpcache.ExperimentOptions{})

@@ -182,6 +182,41 @@ type Config struct {
 	// Pprof mounts net/http/pprof under /_dpc/pprof/ on each proxy's
 	// admin surface.
 	Pprof bool
+	// Admission mounts each proxy's admission-control stage: under
+	// measured pressure (origin in-flight, latency EWMA, queue depth,
+	// ledger bytes, negative-cached failures) requests are served stale
+	// from the cache tiers or shed with a fast 503 + Retry-After instead
+	// of queueing on the origin (see dpc.Config.Admission).
+	Admission bool
+	// AdmissionMaxInFlight bounds concurrent origin-bound requests per
+	// proxy (0 = unbounded).
+	AdmissionMaxInFlight int
+	// AdmissionMaxKeyInFlight bounds them per coalesce key (0 =
+	// unbounded).
+	AdmissionMaxKeyInFlight int
+	// AdmissionMaxTenantInFlight bounds them per X-User tenant (0 =
+	// unbounded).
+	AdmissionMaxTenantInFlight int
+	// AdmissionMaxFlightWaiters bounds followers parked on one coalesce
+	// flight (0 = unbounded).
+	AdmissionMaxFlightWaiters int
+	// AdmissionShedLatency is the origin-latency EWMA threshold past
+	// which stale serving is preferred (0 disables the signal).
+	AdmissionShedLatency time.Duration
+	// AdmissionStaleWindow bounds how far past TTL a cache entry may be
+	// served under pressure (0 selects the dpc default, 30s).
+	AdmissionStaleWindow time.Duration
+	// AdmissionNegTTL is the negative-cache lifetime of origin failures
+	// (0 selects the dpc default, 1s).
+	AdmissionNegTTL time.Duration
+	// AdmissionRetryAfter is the Retry-After hint on shed 503s (0 selects
+	// the dpc default, 1s).
+	AdmissionRetryAfter time.Duration
+	// OriginFaults injects configured misbehavior (latency, errors,
+	// hangs, mid-body aborts, a bounded worker pool) in front of the
+	// origin's page/static handlers — the saturation experiment's load
+	// model. Nil serves faithfully.
+	OriginFaults *origin.FaultConfig
 }
 
 // System is a fully wired origin + proxy deployment.
@@ -243,6 +278,15 @@ func (c Config) proxyConfig(originURL string, store fragstore.FragmentStore, reg
 		Registry:            reg,
 		Tracer:              tracer,
 		Pprof:               c.Pprof,
+		Admission:           c.Admission,
+		MaxOriginInFlight:   c.AdmissionMaxInFlight,
+		MaxKeyInFlight:      c.AdmissionMaxKeyInFlight,
+		MaxTenantInFlight:   c.AdmissionMaxTenantInFlight,
+		MaxFlightWaiters:    c.AdmissionMaxFlightWaiters,
+		ShedLatency:         c.AdmissionShedLatency,
+		StaleWindow:         c.AdmissionStaleWindow,
+		NegTTL:              c.AdmissionNegTTL,
+		RetryAfter:          c.AdmissionRetryAfter,
 	}
 }
 
@@ -337,12 +381,17 @@ func NewSystem(cfg Config, mode Mode) (*System, error) {
 		}
 		mon.BindRepo(repo)
 	}
+	var faults *origin.FaultInjector
+	if cfg.OriginFaults != nil {
+		faults = origin.NewFaultInjector(*cfg.OriginFaults)
+	}
 	org, err := origin.New(origin.Config{
 		Repo:             repo,
 		Monitor:          mon,
 		Codec:            cfg.Codec,
 		ExtraHeaderBytes: cfg.ExtraHeaderBytes,
 		Registry:         cfg.Registry,
+		Faults:           faults,
 	})
 	if err != nil {
 		return nil, err

@@ -313,6 +313,19 @@ func (g *flightGroup) finish(f *flight, aborted bool) {
 	f.close(aborted)
 }
 
+// depth reports whether a flight is open for key and how many followers
+// it currently has. The admission stage uses it to bound the coalesce
+// queue: a request that would join an already-deep flight is shed.
+func (g *flightGroup) depth(key string) (exists bool, waiters int) {
+	g.mu.Lock()
+	f, ok := g.m[key]
+	g.mu.Unlock()
+	if !ok {
+		return false, 0
+	}
+	return true, f.waiterCount()
+}
+
 // waiting reports how many followers are attached to key (tests).
 func (g *flightGroup) waiting(key string) int64 {
 	g.mu.Lock()

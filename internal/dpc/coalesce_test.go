@@ -867,3 +867,92 @@ func TestGetDoesNotRideHeadFlight(t *testing.T) {
 		t.Fatalf("origin saw %d fetches, want 2 (GET fetched independently)", got)
 	}
 }
+
+// Regression: a coalesce leader whose OWN client disconnects mid-body
+// must keep draining the origin for committed followers instead of
+// tearing the flight. Before the fix, the leader's failed client write
+// aborted the fetch, every committed follower was torn, and uncommitted
+// ones refetched (origin saw 2+ fetches). Now the leader flips to drain
+// mode (dpc.coalesce_leader_drains) and the follower receives the full
+// page off one origin fetch.
+func TestLeaderClientGoneKeepsDrainingForFollowers(t *testing.T) {
+	head := []byte(strings.Repeat("H", 8192))
+	tail := []byte(strings.Repeat("T", 256<<10)) // several copy-buffer chunks: the dead client's write must fail mid-drain
+	o := newBlockingOrigin(head, tail)
+	origin := httptest.NewServer(o.handler())
+	defer origin.Close()
+
+	p := newTestProxy(t, origin.URL, func(c *Config) {
+		c.Coalesce = true
+		c.Stream = true
+	})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	key := clientKey(http.MethodGet, "/page/drain")
+
+	// Leader: a real client on a cancellable context, committed once the
+	// flushed head arrives.
+	lctx, lcancel := context.WithCancel(context.Background())
+	defer lcancel()
+	lreq, err := http.NewRequestWithContext(lctx, http.MethodGet, ts.URL+"/page/drain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lresp, err := http.DefaultClient.Do(lreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	<-o.entered
+	lbuf := make([]byte, 1)
+	if _, err := io.ReadFull(lresp.Body, lbuf); err != nil {
+		t.Fatalf("leader first byte: %v", err)
+	}
+
+	// Follower: attaches to the flight and commits to the broadcast.
+	fresp, err := http.Get(ts.URL + "/page/drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.flights.waiting(key) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never attached to the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fr := bufio.NewReader(fresp.Body)
+	if _, err := fr.ReadByte(); err != nil {
+		t.Fatalf("follower first byte: %v", err)
+	}
+	if err := fr.UnreadByte(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The leader's client walks away; the origin then finishes the page.
+	lcancel()
+	time.Sleep(100 * time.Millisecond) // let the closed connection surface at the server
+	close(o.release)
+
+	body, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatalf("follower read after leader disconnect: %v", err)
+	}
+	want := string(head) + string(tail)
+	if string(body) != want {
+		t.Fatalf("follower body = %d bytes, want the full %d-byte page", len(body), len(want))
+	}
+	if got := o.fetches.Load(); got != 1 {
+		t.Fatalf("origin saw %d fetches, want 1 (the flight must survive the leader's disconnect)", got)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for p.Registry().Counter("dpc.coalesce_leader_drains").Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dpc.coalesce_leader_drains = %d, want 1",
+				p.Registry().Counter("dpc.coalesce_leader_drains").Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -22,7 +22,7 @@ type MetricDoc struct {
 // order; each owns a dpc.stage.<name>.latency histogram. New keeps its
 // stage list consistent with this (asserted by TestMetricsDocumented).
 var pipelineStageNames = []string{
-	"admin", "static-cache", "pagecache", "coalesce",
+	"admin", "static-cache", "pagecache", "admission", "coalesce",
 	"origin-fetch", "assemble", "stale-fallback", "respond",
 }
 
@@ -50,6 +50,18 @@ func MetricCatalog() []MetricDoc {
 		{"dpc.coalesce_fallbacks", "counter", "a leader aborted before a follower committed; the follower re-fetched"},
 		{"dpc.coalesce_overflows", "counter", "a flight sealed past its buffer cap (late joiner or lagging follower re-fetched)"},
 		{"dpc.coalesce_head_shared", "counter", "a HEAD request was served from a GET leader's committed flight headers"},
+		{"dpc.coalesce_leader_drains", "counter", "a leader's client disconnected mid-body with followers attached; the leader kept draining the origin and broadcasting for them"},
+		// Admission control (populated only when Config.Admission is on).
+		{"dpc.shed_503s", "counter", "a request was refused with a fast 503 + Retry-After (hard pressure, no stale copy available)"},
+		{"dpc.shed_inflight", "counter", "a shed tripped on the global origin in-flight bound"},
+		{"dpc.shed_queue", "counter", "a shed tripped on the coalesce-flight waiter bound"},
+		{"dpc.shed_per_key", "counter", "a shed tripped on the per-key origin concurrency bound"},
+		{"dpc.shed_per_tenant", "counter", "a shed tripped on the per-tenant (X-User) origin concurrency bound"},
+		{"dpc.negcache_hits", "counter", "a request hit the negative cache of a recent origin failure and was answered stale or shed without touching the origin"},
+		{"dpc.negcache_fills", "counter", "an origin failure (transport error or non-200) was negative-cached for NegTTL"},
+		{"dpc.stale_served_page", "counter", "a request under pressure was served an expired page-tier entry (X-Cache: STALE)"},
+		{"dpc.stale_served_static", "counter", "a request under pressure was served an expired static-tier entry (X-Cache: STALE)"},
+		{"dpc.stale_revalidations", "counter", "a stale serve kicked one background revalidation to refresh the tier"},
 		// Static cache tier.
 		{"dpc.static_hits", "counter", "a request was served from the URL-keyed static cache"},
 		{"dpc.static_uncacheable_vary", "counter", "a cacheable response was refused because it varies on a non-allowlisted header"},

@@ -168,7 +168,28 @@ func (p *Proxy) stagePageCache(rs *reqState) (stageOutcome, error) {
 		return stageNext, nil
 	}
 	key := pageKey(rs.r)
-	if body, ctype, etag, ok := p.pages.GetTagged(key); ok {
+	if p.admit != nil && isReval(rs.r.Context()) {
+		// A background revalidation skips the lookup — its purpose is to
+		// refresh this very entry — but still captures its response below
+		// so fillPageCache replaces the stale copy, with the usual
+		// fill/invalidate race check voiding the fill if the fabric
+		// invalidates a source fragment mid-revalidation.
+		rs.pageKey = key
+		if p.depix != nil {
+			rs.depEpoch = p.depix.Epoch()
+		}
+		pc := &pageCapture{ResponseWriter: rs.w, reserve: p.pages.ReserveCapture}
+		rs.pageCapture = pc
+		rs.w = pc
+		return stageNext, nil
+	}
+	lookup := p.pages.GetTagged
+	if p.admit != nil {
+		// Keep expired pages resident for the admission stage's
+		// stale-while-revalidate path (see KeyedStore.GetKeep).
+		lookup = p.pages.GetTaggedKeep
+	}
+	if body, ctype, etag, ok := lookup(key); ok {
 		p.reg.Counter("dpc.pagecache_hits").Inc()
 		if etag != "" && etagMatches(rs.r, etag) {
 			// Conditional hit: the client already holds these bytes. A

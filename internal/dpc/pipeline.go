@@ -112,6 +112,15 @@ type reqState struct {
 	// staticFilled records that origin-fetch stored this response in the
 	// static tier, so the page tier need not duplicate it.
 	staticFilled bool
+
+	// admitRelease releases the admission stage's in-flight token
+	// (idempotent; nil when the stage took none). Called in respond and
+	// fail — the token covers the request's whole origin-bound lifetime.
+	admitRelease func()
+	// originCancel releases the leader's detached origin context (see
+	// originRequest): it cancels the fetch if still running and frees the
+	// client-disconnect watcher. Idempotent; nil for non-leaders.
+	originCancel func()
 }
 
 // --- admin ---
@@ -131,7 +140,23 @@ func (p *Proxy) stageStaticCache(rs *reqState) (stageOutcome, error) {
 	if p.static == nil || (rs.r.Method != http.MethodGet && rs.r.Method != http.MethodHead) {
 		return stageNext, nil
 	}
-	body, ctype, ok := p.static.Get(staticKey(rs.r))
+	if p.admit != nil && isReval(rs.r.Context()) {
+		// A background revalidation exists to refresh the tiers; serving
+		// it from cache would refresh nothing.
+		return stageNext, nil
+	}
+	var (
+		body  []byte
+		ctype string
+		ok    bool
+	)
+	if p.admit != nil {
+		// Keep expired entries resident: the admission stage may serve
+		// them stale under pressure (see KeyedStore.GetKeep).
+		body, ctype, ok = p.static.GetKeep(staticKey(rs.r))
+	} else {
+		body, ctype, ok = p.static.Get(staticKey(rs.r))
+	}
 	if !ok {
 		rs.span.Event(trace.KindMiss, "static", "", 0)
 		return stageNext, nil
@@ -361,7 +386,28 @@ func (p *Proxy) originRequest(rs *reqState, bypassStale []StaleRef) (*http.Respo
 	if rs.reqBody != nil {
 		body = bytes.NewReader(rs.reqBody)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+	ctx := r.Context()
+	if f := rs.flight; f != nil {
+		// A coalesce leader fetches on behalf of every follower, so its
+		// origin context must not die with its own client: detach it, and
+		// re-arm cancellation only when the client disconnects with no
+		// followers attached (then nobody is left to drain for). A leader
+		// whose client goes away mid-flight keeps draining the origin and
+		// broadcasting to committed followers (see streamPlain and
+		// spoolWriter.send) instead of aborting the flight.
+		if rs.originCancel != nil {
+			rs.originCancel() // a previous fetch's watcher (bypass retry)
+		}
+		dctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		stop := context.AfterFunc(ctx, func() {
+			if f.waiterCount() == 0 {
+				cancel()
+			}
+		})
+		rs.originCancel = func() { stop(); cancel() }
+		ctx = dctx
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method,
 		p.cfg.OriginURL+r.URL.RequestURI(), body)
 	if err != nil {
 		return nil, err
@@ -391,13 +437,27 @@ func (p *Proxy) originRequest(rs *reqState, bypassStale []StaleRef) (*http.Respo
 			req.Header.Set(headerStale, s)
 		}
 	}
+	t0 := time.Now()
 	resp, err := p.client.Do(req)
+	if a := p.admit; a != nil {
+		a.observe(time.Since(t0))
+	}
 	if err != nil {
+		if a := p.admit; a != nil && negEligible(r, err) {
+			if a.negFill(flightKey(r)) {
+				p.reg.Counter("dpc.negcache_fills").Inc()
+			}
+		}
 		return nil, fmt.Errorf("origin fetch: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
+		if a := p.admit; a != nil && negEligible(r, nil) {
+			if a.negFill(flightKey(r)) {
+				p.reg.Counter("dpc.negcache_fills").Inc()
+			}
+		}
 		return nil, fmt.Errorf("origin status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
 	}
 	return resp, nil
@@ -498,6 +558,7 @@ func (p *Proxy) streamPlain(rs *reqState, resp *http.Response) error {
 	bufp := copyBufPool.Get().(*[]byte)
 	defer copyBufPool.Put(bufp)
 	buf := *bufp
+	clientGone := false
 	for {
 		n, err := resp.Body.Read(buf)
 		if n > 0 {
@@ -505,15 +566,38 @@ func (p *Proxy) streamPlain(rs *reqState, resp *http.Response) error {
 				rs.w.WriteHeader(http.StatusOK)
 				rs.streamed = true
 			}
-			wn, werr := rs.w.Write(buf[:n])
-			if rs.flight != nil {
-				rs.flight.append(buf[:wn])
-			}
-			if werr != nil {
-				return werr
-			}
-			if wn < n {
-				return io.ErrShortWrite
+			if clientGone {
+				// Drain mode: the client is gone but followers are still
+				// parked on this flight, so keep reading the origin and
+				// broadcasting complete chunks. The dead client's writer
+				// is still fed (errors ignored) so the page-capture tee
+				// stays complete and the fill can happen.
+				if rs.flight != nil {
+					rs.flight.append(buf[:n])
+				}
+				_, _ = rs.w.Write(buf[:n])
+			} else {
+				wn, werr := rs.w.Write(buf[:n])
+				if rs.flight != nil {
+					rs.flight.append(buf[:wn])
+				}
+				if werr != nil || wn < n {
+					if rs.flight != nil && rs.flight.waiterCount() > 0 {
+						// The leader's client disconnected mid-body with
+						// followers attached: drain the origin for them
+						// instead of aborting the flight they committed to.
+						clientGone = true
+						p.reg.Counter("dpc.coalesce_leader_drains").Inc()
+						if wn < n {
+							rs.flight.append(buf[wn:n])
+						}
+						continue
+					}
+					if werr != nil {
+						return werr
+					}
+					return io.ErrShortWrite
+				}
 			}
 		}
 		switch err {
@@ -580,6 +664,7 @@ func (p *Proxy) stageAssemble(rs *reqState) (stageOutcome, error) {
 	// to the client, with every post-spool chunk teed into the flight
 	// broadcast so followers stream it live.
 	sw := newSpoolWriter(rs, p.spool)
+	sw.drains = p.reg.Counter("dpc.coalesce_leader_drains")
 	defer sw.release()
 	stats, err := p.assembleTrace(sw, resp.Body, rs.span)
 	p.recordAssembleStats(stats)
@@ -774,6 +859,14 @@ func (p *Proxy) stageStaleFallback(rs *reqState) (stageOutcome, error) {
 
 func (p *Proxy) stageRespond(rs *reqState) (stageOutcome, error) {
 	p.finishFlight(rs, nil)
+	if rs.originCancel != nil {
+		rs.originCancel()
+		rs.originCancel = nil
+	}
+	if rs.admitRelease != nil {
+		rs.admitRelease()
+		rs.admitRelease = nil
+	}
 	if !rs.streamed {
 		if rs.pageETag != "" {
 			// A page-tier hit replays its stored strong ETag so the

@@ -153,6 +153,44 @@ type Config struct {
 	// Pprof mounts net/http/pprof under /_dpc/pprof/ on the admin mux.
 	// Off by default: profiles expose internals and cost CPU on demand.
 	Pprof bool
+	// Admission mounts the admission-control stage between the cache-hit
+	// tiers and coalesce (see admission.go): under measured pressure the
+	// proxy serves stale-while-revalidate from the page or static tier
+	// instead of queueing on the origin, negative-caches origin failures,
+	// and sheds with a fast 503 + Retry-After when a hard bound is hit
+	// and no stale copy exists. Off by default. When on, the cache-hit
+	// stages stop lazily removing expired entries (GetKeep), so the stale
+	// copies the stage serves stay resident until refreshed or evicted.
+	Admission bool
+	// MaxOriginInFlight bounds concurrent origin-bound requests through
+	// this proxy (0 = unbounded). At the bound, new origin work is shed.
+	MaxOriginInFlight int
+	// MaxKeyInFlight bounds concurrent origin-bound requests per coalesce
+	// key (0 = unbounded). Mostly relevant with coalescing off.
+	MaxKeyInFlight int
+	// MaxTenantInFlight bounds concurrent origin-bound requests per
+	// tenant, identified by the X-User header (0 = unbounded). Anonymous
+	// requests are never tenant-bounded.
+	MaxTenantInFlight int
+	// MaxFlightWaiters bounds followers parked on one coalesce flight
+	// (0 = unbounded). Past the bound, further arrivals for the key are
+	// shed rather than queued.
+	MaxFlightWaiters int
+	// ShedLatency is the origin-latency EWMA threshold past which the
+	// stage prefers serving stale over queueing new origin work (0
+	// disables the signal). A soft signal: with no stale copy the request
+	// is admitted anyway.
+	ShedLatency time.Duration
+	// StaleWindow bounds how far past its TTL a cache entry may be served
+	// under pressure (0 selects 30s).
+	StaleWindow time.Duration
+	// NegTTL is the negative-cache lifetime of an origin failure (0
+	// selects 1s): requests for a key that just failed are shed (or
+	// served stale) for this long instead of re-queueing on a sick origin.
+	NegTTL time.Duration
+	// RetryAfter is the Retry-After hint stamped on shed 503s (0 selects
+	// 1s; rounded up to whole seconds).
+	RetryAfter time.Duration
 }
 
 // Proxy is the Dynamic Proxy Cache in reverse-proxy mode: it fronts the
@@ -174,6 +212,7 @@ type Proxy struct {
 	stages     []*Stage
 	respondIdx int
 	flights    *flightGroup  // nil when coalescing disabled
+	admit      *admission    // nil when admission control disabled
 	tracer     *trace.Tracer // nil when tracing disabled
 	spool      int
 
@@ -289,6 +328,9 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.Coalesce {
 		p.flights = newFlightGroup(cfg.CoalesceBufferBytes)
 	}
+	if cfg.Admission {
+		p.admit = newAdmission(cfg)
+	}
 	switch {
 	case cfg.Tracer != nil:
 		p.tracer = cfg.Tracer
@@ -299,6 +341,7 @@ func New(cfg Config) (*Proxy, error) {
 		p.newStage("admin", p.stageAdmin),
 		p.newStage("static-cache", p.stageStaticCache),
 		p.newStage("pagecache", p.stagePageCache),
+		p.newStage("admission", p.stageAdmission),
 		p.newStage("coalesce", p.stageCoalesce),
 		p.newStage("origin-fetch", p.stageOriginFetch),
 		p.newStage("assemble", p.stageAssemble),
@@ -547,6 +590,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // aborted response; otherwise a 502 is returned.
 func (p *Proxy) fail(rs *reqState, err error) {
 	p.finishFlight(rs, err)
+	if rs.originCancel != nil {
+		rs.originCancel()
+		rs.originCancel = nil
+	}
+	if rs.admitRelease != nil {
+		rs.admitRelease()
+		rs.admitRelease = nil
+	}
 	if rs.pageCapture != nil {
 		rs.pageCapture.settle() // release the capture's ledger reservation
 	}

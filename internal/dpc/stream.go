@@ -46,14 +46,44 @@ type spoolWriter struct {
 	spoolRef  *[]byte
 	committed bool
 	written   int64
+	// clientGone flips when the client's write fails while followers are
+	// parked on the leader's flight: from then on assembly keeps running
+	// and every chunk is broadcast in full, the dead client's writes
+	// ignored, so committed followers receive the complete page instead
+	// of an aborted flight.
+	clientGone bool
+	// drains counts leader-drain activations (dpc.coalesce_leader_drains;
+	// nil when the proxy registry is absent in unit tests).
+	drains interface{ Inc() }
 }
 
 // send delivers committed bytes to the client and the flight broadcast.
 func (s *spoolWriter) send(b []byte) (int, error) {
+	if s.clientGone {
+		if f := s.rs.flight; f != nil {
+			f.append(b)
+		}
+		_, _ = s.rs.w.Write(b) // keep the page-capture tee complete
+		s.written += int64(len(b))
+		return len(b), nil
+	}
 	n, err := s.rs.w.Write(b)
 	s.written += int64(n)
 	if f := s.rs.flight; f != nil {
 		f.append(b[:n])
+	}
+	if err != nil || n < len(b) {
+		if f := s.rs.flight; f != nil && f.waiterCount() > 0 {
+			s.clientGone = true
+			if s.drains != nil {
+				s.drains.Inc()
+			}
+			if n < len(b) {
+				f.append(b[n:]) // complete the chunk for followers
+			}
+			s.written += int64(len(b) - n)
+			return len(b), nil
+		}
 	}
 	return n, err
 }

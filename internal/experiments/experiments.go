@@ -165,6 +165,7 @@ func All() []struct {
 		{"ablation-codec", AblationCodec},
 		{"ablation-strict", AblationStrict},
 		{"ablation-latency", AblationLatencyModel},
+		{"saturation", Saturation},
 	}
 }
 

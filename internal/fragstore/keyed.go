@@ -232,6 +232,60 @@ func (s *KeyedStore) Get(key string) (KeyedEntry, bool) {
 	return val, true
 }
 
+// GetKeep behaves like Get — hits are counted and an expired entry
+// misses — except the expired entry is left resident instead of removed,
+// so a later GetStale can still serve it. The proxy's cache-tier stages
+// switch to it when admission control is enabled: lazy-expiry removal
+// would destroy the very copy stale-while-revalidate exists to serve.
+// Resident expired entries are bounded like everything else (entry cap,
+// byte ledger) and are replaced by the next Put under their key.
+func (s *KeyedStore) GetKeep(key string) (KeyedEntry, bool) {
+	sh := s.locate(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if !ok {
+		sh.mu.Unlock()
+		sh.misses.Add(1)
+		return KeyedEntry{}, false
+	}
+	if !e.deadline.IsZero() && !s.clk.Now().Before(e.deadline) {
+		sh.mu.Unlock()
+		sh.misses.Add(1)
+		return KeyedEntry{}, false
+	}
+	sh.touch(e)
+	val := e.val
+	sh.mu.Unlock()
+	sh.hits.Add(1)
+	return val, true
+}
+
+// GetStale returns the entry stored under key even when its TTL has
+// lapsed, along with how far past its deadline it is (zero while still
+// fresh). Unlike Get it never removes an expired entry — the caller is a
+// stale-while-revalidate path that wants the lapsed copy served while a
+// background refresh replaces it. Invalidation is unaffected: Delete and
+// DeleteFunc remove entries outright, so a stale read can only observe
+// TTL lapse, never invalidated content. The read refreshes recency (a
+// key being stale-served is still hot) but is not counted as a hit or
+// miss — it is not a freshness lookup.
+func (s *KeyedStore) GetStale(key string) (entry KeyedEntry, age time.Duration, ok bool) {
+	sh := s.locate(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
+	if !ok {
+		return KeyedEntry{}, 0, false
+	}
+	if !e.deadline.IsZero() {
+		if now := s.clk.Now(); now.After(e.deadline) {
+			age = now.Sub(e.deadline)
+		}
+	}
+	sh.touch(e)
+	return e.val, age, true
+}
+
 // Put stores entry under key for ttl (ttl <= 0 means no expiry). The
 // value is copied. When the write pushes the store over its global byte
 // budget or entry bound, the globally coldest entries are evicted until

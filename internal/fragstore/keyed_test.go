@@ -282,3 +282,67 @@ func TestKeyedObjCostAccounting(t *testing.T) {
 		t.Fatal("over-budget Obj entry admitted")
 	}
 }
+
+// GetKeep must miss on an expired entry (counted) without destroying it:
+// stale-while-revalidate depends on the copy surviving the freshness
+// lookup that discovered its expiry.
+func TestKeyedGetKeepLeavesExpiredResident(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	s := newKeyed(t, fragstore.KeyedConfig{Clock: fake})
+	s.Put("/a", fragstore.KeyedEntry{Value: []byte("stale-me"), Meta: "text/html"}, 10*time.Second)
+
+	fake.Advance(9 * time.Second)
+	if e, ok := s.GetKeep("/a"); !ok || string(e.Value) != "stale-me" {
+		t.Fatalf("fresh GetKeep: %+v, %v", e, ok)
+	}
+
+	fake.Advance(6 * time.Second) // 5s past the deadline
+	if _, ok := s.GetKeep("/a"); ok {
+		t.Fatal("GetKeep served an expired entry as fresh")
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("Misses = %d after the expired GetKeep, want 1", st.Misses)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (expired entry must stay resident)", s.Len())
+	}
+	e, age, ok := s.GetStale("/a")
+	if !ok || string(e.Value) != "stale-me" {
+		t.Fatalf("GetStale after GetKeep: %+v, %v", e, ok)
+	}
+	if age != 5*time.Second {
+		t.Fatalf("stale age = %v, want 5s", age)
+	}
+}
+
+// GetStale serves entries past their deadline with their age, without
+// touching the hit/miss counters, and a fresh entry reads back with age
+// zero. Delete still removes the entry outright — an invalidation beats
+// any stale serve.
+func TestKeyedGetStale(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	s := newKeyed(t, fragstore.KeyedConfig{Clock: fake})
+	s.Put("/a", fragstore.KeyedEntry{Value: []byte("v"), Meta: "text/plain"}, 10*time.Second)
+
+	if e, age, ok := s.GetStale("/a"); !ok || age != 0 || e.Meta != "text/plain" {
+		t.Fatalf("fresh GetStale: entry=%+v age=%v ok=%v", e, age, ok)
+	}
+	fake.Advance(13 * time.Second)
+	if _, age, ok := s.GetStale("/a"); !ok || age != 3*time.Second {
+		t.Fatalf("expired GetStale: age=%v ok=%v, want 3s true", age, ok)
+	}
+	if st := s.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("GetStale moved the freshness counters: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+	if _, _, ok := s.GetStale("/missing"); ok {
+		t.Fatal("GetStale invented an entry")
+	}
+
+	if !s.Delete("/a") {
+		t.Fatal("Delete missed the resident entry")
+	}
+	if _, _, ok := s.GetStale("/a"); ok {
+		t.Fatal("GetStale served a deleted (invalidated) entry")
+	}
+}

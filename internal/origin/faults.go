@@ -1,0 +1,182 @@
+package origin
+
+import (
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Fault injection: a deterministic misbehavior layer in front of the
+// origin's page and static handlers, so tests and experiments can
+// provoke overload, errors, hangs, and torn responses on demand. The
+// admission-control work in internal/dpc is only provable against an
+// origin that can be made to saturate and fail; a healthy in-process
+// origin never exercises those paths. Admin endpoints (/healthz, /stats)
+// are never fault-injected — a saturation experiment still needs to
+// observe the origin.
+
+// FaultConfig parameterizes a FaultInjector. The zero value injects
+// nothing.
+type FaultConfig struct {
+	// Latency is added to every page/static request before it is served;
+	// Jitter adds a uniform random extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// ErrorRate is the probability in [0, 1] a request is answered 500
+	// before the handler runs.
+	ErrorRate float64
+	// HangRate is the probability a request sleeps Hang before being
+	// served — the slow-backend tail, distinct from the base Latency.
+	HangRate float64
+	// Hang is the extra stall applied to hung requests (0 selects 5s).
+	Hang time.Duration
+	// AbortRate is the probability a page/static response is torn
+	// mid-body: roughly half the body is written and flushed, then the
+	// connection is aborted.
+	AbortRate float64
+	// MaxConcurrent bounds requests inside the fault layer (0 =
+	// unbounded): excess arrivals queue, modeling a fixed origin worker
+	// pool — offered load past MaxConcurrent/Latency collapses into
+	// queueing delay, which is what a saturation experiment sweeps.
+	MaxConcurrent int
+	// Seed makes the random draws reproducible (0 selects 1).
+	Seed int64
+}
+
+// FaultInjector applies a FaultConfig; safe for concurrent use.
+type FaultInjector struct {
+	cfg  FaultConfig
+	sem  chan struct{} // nil when unbounded
+	mu   sync.Mutex
+	rng  *rand.Rand
+	reg  *faultMetrics
+	hang time.Duration
+}
+
+// faultMetrics is the injector's counter set, bound when the Server
+// attaches the injector (the Server owns the registry).
+type faultMetrics struct {
+	errors, hangs, aborts, queued interface{ Inc() }
+}
+
+// NewFaultInjector returns an injector for cfg.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	hang := cfg.Hang
+	if hang <= 0 {
+		hang = 5 * time.Second
+	}
+	f := &FaultInjector{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		hang: hang,
+	}
+	if cfg.MaxConcurrent > 0 {
+		f.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return f
+}
+
+// roll draws a uniform float in [0, 1) under the injector's lock, so
+// concurrent requests share one deterministic sequence.
+func (f *FaultInjector) roll() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64()
+}
+
+func (f *FaultInjector) jitter() time.Duration {
+	if f.cfg.Jitter <= 0 {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return time.Duration(f.rng.Int63n(int64(f.cfg.Jitter)))
+}
+
+// wrap applies the configured faults around next. It returns true when
+// the request was fully handled (error injected or slot wait cancelled)
+// and next must not run.
+func (f *FaultInjector) wrap(w http.ResponseWriter, r *http.Request, next func(http.ResponseWriter, *http.Request)) {
+	if f.sem != nil {
+		select {
+		case f.sem <- struct{}{}:
+		default:
+			// Worker pool busy: queue (the whole point — queueing delay
+			// is the saturation signal), but respect client cancellation
+			// so a shed/timed-out caller does not hold a queue slot.
+			if f.reg != nil {
+				f.reg.queued.Inc()
+			}
+			select {
+			case f.sem <- struct{}{}:
+			case <-r.Context().Done():
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+		}
+		defer func() { <-f.sem }()
+	}
+	if d := f.cfg.Latency + f.jitter(); d > 0 {
+		f.sleep(r, d)
+	}
+	if f.cfg.HangRate > 0 && f.roll() < f.cfg.HangRate {
+		if f.reg != nil {
+			f.reg.hangs.Inc()
+		}
+		f.sleep(r, f.hang)
+	}
+	if f.cfg.ErrorRate > 0 && f.roll() < f.cfg.ErrorRate {
+		if f.reg != nil {
+			f.reg.errors.Inc()
+		}
+		http.Error(w, "origin: injected failure", http.StatusInternalServerError)
+		return
+	}
+	if f.cfg.AbortRate > 0 && f.roll() < f.cfg.AbortRate {
+		if f.reg != nil {
+			f.reg.aborts.Inc()
+		}
+		next(&abortWriter{ResponseWriter: w}, r)
+		return
+	}
+	next(w, r)
+}
+
+// sleep waits d or until the client gives up.
+func (f *FaultInjector) sleep(r *http.Request, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.Context().Done():
+	}
+}
+
+// abortWriter tears a response mid-body: roughly half of the first body
+// write goes out (flushed, so the bytes actually reach the wire), then
+// the connection is aborted via http.ErrAbortHandler. Downstream, the
+// proxy sees an unexpected EOF partway through the declared length.
+type abortWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (a *abortWriter) Write(b []byte) (int, error) {
+	if a.wrote {
+		panic(http.ErrAbortHandler)
+	}
+	a.wrote = true
+	n := len(b) / 2
+	if n > 0 {
+		_, _ = a.ResponseWriter.Write(b[:n])
+		if fl, ok := a.ResponseWriter.(http.Flusher); ok {
+			fl.Flush()
+		}
+	}
+	panic(http.ErrAbortHandler)
+}

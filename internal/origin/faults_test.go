@@ -1,0 +1,203 @@
+package origin
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func okHandler(body string) (http.HandlerFunc, *int) {
+	calls := new(int)
+	return func(w http.ResponseWriter, r *http.Request) {
+		*calls++
+		_, _ = io.WriteString(w, body)
+	}, calls
+}
+
+// ErrorRate 1 answers 500 before the handler runs.
+func TestFaultErrorInjection(t *testing.T) {
+	f := NewFaultInjector(FaultConfig{ErrorRate: 1})
+	next, calls := okHandler("page")
+	rec := httptest.NewRecorder()
+	f.wrap(rec, httptest.NewRequest(http.MethodGet, "/page/x", nil), next)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if *calls != 0 {
+		t.Fatal("handler ran despite the injected error")
+	}
+}
+
+// The configured base latency is added to every request.
+func TestFaultLatency(t *testing.T) {
+	f := NewFaultInjector(FaultConfig{Latency: 30 * time.Millisecond})
+	next, calls := okHandler("page")
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	f.wrap(rec, httptest.NewRequest(http.MethodGet, "/page/x", nil), next)
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("request served in %v, want >= 30ms", d)
+	}
+	if *calls != 1 || rec.Body.String() != "page" {
+		t.Fatalf("handler calls = %d body = %q", *calls, rec.Body.String())
+	}
+}
+
+// HangRate 1 stalls every request by Hang on top of the base latency,
+// then serves it normally.
+func TestFaultHang(t *testing.T) {
+	f := NewFaultInjector(FaultConfig{HangRate: 1, Hang: 25 * time.Millisecond})
+	next, calls := okHandler("page")
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	f.wrap(rec, httptest.NewRequest(http.MethodGet, "/page/x", nil), next)
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("request served in %v, want >= 25ms (the hang)", d)
+	}
+	if *calls != 1 || rec.Code != http.StatusOK {
+		t.Fatalf("handler calls = %d status = %d", *calls, rec.Code)
+	}
+}
+
+// AbortRate 1 tears every response mid-body: the client sees roughly
+// half the payload and a transport error instead of a clean EOF.
+func TestFaultAbortTearsBody(t *testing.T) {
+	f := NewFaultInjector(FaultConfig{AbortRate: 1})
+	body := strings.Repeat("B", 4096)
+	next, _ := okHandler(body)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.wrap(w, r, next)
+	}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/page/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err == nil && len(got) == len(body) {
+		t.Fatal("aborted response arrived complete with a clean EOF")
+	}
+	if len(got) >= len(body) {
+		t.Fatalf("client read %d bytes of a torn %d-byte body", len(got), len(body))
+	}
+}
+
+// MaxConcurrent models a fixed worker pool: with one slot held, a second
+// arrival queues (counted) and a cancelled waiter is answered 503 without
+// ever reaching the handler.
+func TestFaultWorkerPoolQueuesAndCancels(t *testing.T) {
+	f := NewFaultInjector(FaultConfig{MaxConcurrent: 1})
+	release := make(chan struct{})
+	var handled int
+	var mu sync.Mutex
+	slow := func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		handled++
+		mu.Unlock()
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}
+
+	firstIn := make(chan struct{})
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		rec := httptest.NewRecorder()
+		f.wrap(rec, httptest.NewRequest(http.MethodGet, "/page/a", nil), func(w http.ResponseWriter, r *http.Request) {
+			close(firstIn)
+			slow(w, r)
+		})
+	}()
+	<-firstIn // the single worker slot is now held
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := httptest.NewRecorder()
+	secondDone := make(chan struct{})
+	go func() {
+		defer close(secondDone)
+		req := httptest.NewRequest(http.MethodGet, "/page/b", nil).WithContext(ctx)
+		f.wrap(rec, req, slow)
+	}()
+	// The second request must be parked in the queue, not handled.
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	if handled != 1 {
+		mu.Unlock()
+		t.Fatalf("handled = %d with one slot held, want 1", handled)
+	}
+	mu.Unlock()
+
+	cancel()
+	<-secondDone
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled waiter status = %d, want 503", rec.Code)
+	}
+	mu.Lock()
+	if handled != 1 {
+		mu.Unlock()
+		t.Fatal("cancelled waiter still reached the handler")
+	}
+	mu.Unlock()
+
+	close(release)
+	<-firstDone
+}
+
+// The Server wraps only the page and static handlers: a fault-injected
+// page request fails (and is counted), while /healthz stays clean so
+// experiments can still observe the origin.
+func TestServerFaultWiring(t *testing.T) {
+	srv, err := New(Config{
+		Repo:   testRepo(),
+		Faults: NewFaultInjector(FaultConfig{ErrorRate: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(catalogScript()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, _ := get(t, ts.URL+"/page/catalog?categoryID=fiction", nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("faulted page status = %d, want 500", resp.StatusCode)
+	}
+	if got := srv.reg.Counter("origin.fault_errors").Value(); got != 1 {
+		t.Fatalf("origin.fault_errors = %d, want 1", got)
+	}
+	resp, _ = get(t, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d, want 200 (admin paths are never fault-injected)", resp.StatusCode)
+	}
+}
+
+// Identical seeds must produce identical fault sequences (the saturation
+// experiment depends on reproducible draws).
+func TestFaultDeterministicSeed(t *testing.T) {
+	draw := func() []bool {
+		f := NewFaultInjector(FaultConfig{ErrorRate: 0.5, Seed: 42})
+		out := make([]bool, 32)
+		for i := range out {
+			rec := httptest.NewRecorder()
+			next, _ := okHandler("x")
+			f.wrap(rec, httptest.NewRequest(http.MethodGet, "/page/x", nil), next)
+			out[i] = rec.Code == http.StatusInternalServerError
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged across identically-seeded injectors", i)
+		}
+	}
+}

@@ -69,6 +69,11 @@ type Config struct {
 	ExtraHeaderBytes int
 	// Registry receives origin.* metrics; optional.
 	Registry *metrics.Registry
+	// Faults injects configured misbehavior — latency, errors, hangs,
+	// mid-body aborts, a bounded worker pool — in front of the page and
+	// static handlers (see faults.go). Nil serves faithfully. Admin
+	// endpoints (/healthz, /stats) are never fault-injected.
+	Faults *FaultInjector
 }
 
 // Server is the origin application server. Register scripts, then serve.
@@ -100,6 +105,14 @@ func New(cfg Config) (*Server, error) {
 	reg := cfg.Registry
 	if reg == nil {
 		reg = metrics.NewRegistry()
+	}
+	if cfg.Faults != nil {
+		cfg.Faults.reg = &faultMetrics{
+			errors: reg.Counter("origin.fault_errors"),
+			hangs:  reg.Counter("origin.fault_hangs"),
+			aborts: reg.Counter("origin.fault_aborts"),
+			queued: reg.Counter("origin.fault_queued"),
+		}
 	}
 	return &Server{
 		cfg:     cfg,
@@ -154,8 +167,16 @@ func (s *Server) Monitor() *bem.Monitor { return s.cfg.Monitor }
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case strings.HasPrefix(r.URL.Path, "/page/"):
+		if f := s.cfg.Faults; f != nil {
+			f.wrap(w, r, s.servePage)
+			return
+		}
 		s.servePage(w, r)
 	case strings.HasPrefix(r.URL.Path, "/static/"):
+		if f := s.cfg.Faults; f != nil {
+			f.wrap(w, r, s.serveStatic)
+			return
+		}
 		s.serveStatic(w, r)
 	case r.URL.Path == "/healthz":
 		w.WriteHeader(http.StatusOK)

@@ -89,6 +89,37 @@ func (c *Cache) GetTagged(key string) (body []byte, contentType, etag string, ok
 	return e.Value, contentType, etag, true
 }
 
+// GetKeep is Get without lazy-expiry removal: an expired page misses but
+// stays resident for a later GetStale (see KeyedStore.GetKeep).
+func (c *Cache) GetKeep(key string) (body []byte, contentType string, ok bool) {
+	body, contentType, _, ok = c.GetTaggedKeep(key)
+	return body, contentType, ok
+}
+
+// GetTaggedKeep is GetTagged without lazy-expiry removal.
+func (c *Cache) GetTaggedKeep(key string) (body []byte, contentType, etag string, ok bool) {
+	e, ok := c.store.GetKeep(key)
+	if !ok {
+		return nil, "", "", false
+	}
+	contentType, etag = unpackMeta(e.Meta)
+	return e.Value, contentType, etag, true
+}
+
+// GetStale returns the cached page under key even when its TTL has
+// lapsed, along with how far past expiry it is (zero while fresh). The
+// admission-control stage serves these during origin overload
+// (stale-while-revalidate); invalidated pages are Deleted outright and
+// can never surface here. The caller bounds acceptable staleness.
+func (c *Cache) GetStale(key string) (body []byte, contentType, etag string, age time.Duration, ok bool) {
+	e, age, ok := c.store.GetStale(key)
+	if !ok {
+		return nil, "", "", 0, false
+	}
+	contentType, etag = unpackMeta(e.Meta)
+	return e.Value, contentType, etag, age, true
+}
+
 // Put stores a page under key for ttl. Non-positive ttl is ignored: a
 // URL-keyed page cache cannot see fragment invalidations on its own, so
 // time is the baseline freshness signal — an unexpiring page would be

@@ -89,6 +89,14 @@ const (
 	// KindFill: a cache tier stored this response (Tier names it, N the
 	// body bytes).
 	KindFill Kind = "fill"
+	// KindShed: the admission stage refused to queue this request on the
+	// origin (fast 503 + Retry-After); Note is the pressure signal that
+	// tripped ("inflight", "queue", "per-key", "per-tenant", "negcache").
+	KindShed Kind = "shed"
+	// KindStaleServe: the admission stage answered from an expired cache
+	// entry instead of queueing on the origin; Tier names the tier and N
+	// is the staleness in milliseconds.
+	KindStaleServe Kind = "stale-serve"
 	// KindInfo: an annotation that is provenance but not a decision
 	// (origin response shape, capture overflow, …).
 	KindInfo Kind = "info"
