@@ -12,6 +12,18 @@
 //
 //	dpcd -store sharded -shards 32 -store-budget 67108864 -evict gdsf
 //
+// "-store tiered" mounts the disk-backed two-tier store: the RAM tier is
+// a keyed store bounded by -store-budget, and instead of dropping its
+// eviction victims it demotes them into a page-structured heap file
+// (-disk-path, bounded by -disk-budget) behind a pinning buffer pool.
+// Disk hits are promoted back to RAM, and a restart replays the heap
+// file — discarding torn or checksum-bad pages — so a bounced proxy
+// serves warm instead of cold. Disk-tier activity is published under
+// dpc.store.disk_* (docs/METRICS.md):
+//
+//	dpcd -store tiered -store-budget 67108864 -evict lru \
+//	     -disk-path /var/cache/dpcd.heap -disk-budget 1073741824
+//
 // The request path is a staged pipeline (admin, static-cache, pagecache,
 // coalesce, origin-fetch, assemble, stale-fallback, respond) with
 // per-stage latency histograms served from /_dpc/stats. Single-flight
@@ -83,8 +95,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dpcache/internal/coherency"
@@ -100,10 +116,13 @@ func main() {
 	capacity := flag.Int("capacity", 4096, "fragment slot capacity (match origin's BEM)")
 	codecName := flag.String("codec", "binary", "template codec: binary or text")
 	strict := flag.Bool("strict", true, "generation-checked assembly with bypass recovery")
-	backend := flag.String("store", fragstore.BackendSlot, "fragment store backend: slot or sharded")
+	backend := flag.String("store", fragstore.BackendSlot, "fragment store backend: slot, sharded, or tiered")
 	shards := flag.Int("shards", 0, "sharded store: shard count, rounded to a power of two (0 = default)")
 	budget := flag.Int64("store-budget", 0, "sharded store: resident fragment byte budget (0 = unbounded)")
 	evict := flag.String("evict", "none", "sharded store: eviction policy when over budget: none, lru, or gdsf")
+	diskPath := flag.String("disk-path", "", "tiered store: heap-file path, replayed on restart so the proxy serves warm (required with -store tiered)")
+	diskBudget := flag.Int64("disk-budget", 0, "tiered store: disk-resident byte budget; over it the disk tier drops LRU victims (0 = unbounded)")
+	diskPage := flag.Int("disk-page-bytes", 0, "tiered store: heap-file page size in bytes (0 = 32KiB default; changing it invalidates the file)")
 	coalesce := flag.Bool("coalesce", true, "collapse concurrent identical origin fetches into one (single-flight)")
 	coalesceBuf := flag.Int("coalesce-buffer", 0, "per-flight broadcast buffer cap in bytes before late joiners re-fetch (0 = 4MiB default)")
 	stream := flag.Bool("stream", true, "stream assembled pages to clients instead of buffering whole pages")
@@ -139,11 +158,14 @@ func main() {
 		log.Fatal(err)
 	}
 	store, err := fragstore.New(fragstore.Config{
-		Backend:    *backend,
-		Capacity:   *capacity,
-		Shards:     *shards,
-		ByteBudget: *budget,
-		Eviction:   *evict,
+		Backend:       *backend,
+		Capacity:      *capacity,
+		Shards:        *shards,
+		ByteBudget:    *budget,
+		Eviction:      *evict,
+		DiskPath:      *diskPath,
+		DiskBudget:    *diskBudget,
+		DiskPageBytes: *diskPage,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -202,6 +224,11 @@ func main() {
 		*originURL, *addr, *capacity, codec.Name(), *strict, *coalesce, *stream, *pageCache, *planCache)
 	fmt.Printf("dpcd: %s store, %d shard(s), byte budget %d, eviction %s; status at http://%s/_dpc/stats\n",
 		st.Backend, st.Shards, st.ByteBudget, *evict, *addr)
+	if dt, ok := store.(fragstore.DiskTiered); ok {
+		ds := dt.TierStats().Disk
+		fmt.Printf("dpcd: disk tier %s: %d entries (%d bytes) replayed warm, %d torn/bad pages discarded, byte budget %d\n",
+			*diskPath, ds.RecoveredEntries, ds.Bytes, ds.ChecksumDiscards, ds.ByteBudget)
+	}
 	if *statusEvery > 0 {
 		go func() {
 			for range time.Tick(*statusEvery) {
@@ -211,5 +238,27 @@ func main() {
 			}
 		}()
 	}
-	log.Fatal(http.ListenAndServe(*addr, proxy))
+	// SIGINT/SIGTERM shut down cleanly so a disk-backed store drains its
+	// RAM tier to the heap file and the next start replays it warm; a
+	// hard kill instead restarts with whatever had already demoted
+	// (append-then-commit keeps the file itself consistent either way).
+	srv := &http.Server{Addr: *addr, Handler: proxy}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("dpcd: %v: shutting down", sig)
+		srv.SetKeepAlivesEnabled(false)
+		_ = srv.Close()
+		_ = proxy.Close()
+		if c, ok := store.(io.Closer); ok {
+			if err := c.Close(); err != nil {
+				log.Fatalf("dpcd: store close: %v", err)
+			}
+		}
+	}
 }

@@ -91,6 +91,11 @@ const (
 	// StoreBackendSharded is the sharded, byte-budgeted store with
 	// pluggable eviction ("none", "lru", "gdsf").
 	StoreBackendSharded = fragstore.BackendSharded
+	// StoreBackendTiered is the disk-backed two-tier store: a keyed RAM
+	// tier that demotes eviction victims into a heap file
+	// (StoreConfig.DiskPath) replayed on restart, so a bounced proxy
+	// serves warm. See SystemConfig.StoreDiskDir.
+	StoreBackendTiered = fragstore.BackendTiered
 )
 
 // NewFragmentStore builds a standalone fragment store (most callers

@@ -19,8 +19,10 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"path/filepath"
 	"time"
 
 	"dpcache/internal/bem"
@@ -37,21 +39,31 @@ import (
 	"dpcache/internal/trace"
 )
 
-// storeConfig maps the config's Store* selection onto fragstore's config.
-// NewSystem has already defaulted Capacity by the time this is called.
-func (c Config) storeConfig() fragstore.Config {
-	return fragstore.Config{
+// storeConfig maps the config's Store* selection onto fragstore's config
+// for one named store instance. NewSystem has already defaulted Capacity
+// by the time this is called. Each proxy's tiered heap file is keyed by
+// the instance name ("front", "edge-<name>") so a restarted proxy reopens
+// its own file — the warm-restart path — while co-located proxies never
+// share one.
+func (c Config) storeConfig(instance string) fragstore.Config {
+	cfg := fragstore.Config{
 		Backend:    c.StoreBackend,
 		Capacity:   c.Capacity,
 		Shards:     c.StoreShards,
 		ByteBudget: c.StoreByteBudget,
 		Eviction:   c.StoreEviction,
 	}
+	if c.StoreBackend == fragstore.BackendTiered {
+		cfg.DiskPath = filepath.Join(c.StoreDiskDir, instance+".heap")
+		cfg.DiskBudget = c.StoreDiskBudget
+		cfg.DiskPageBytes = c.StoreDiskPageBytes
+	}
+	return cfg
 }
 
 // newStore builds one fragment store per proxy.
-func (c Config) newStore() (fragstore.FragmentStore, error) {
-	return fragstore.New(c.storeConfig())
+func (c Config) newStore(instance string) (fragstore.FragmentStore, error) {
+	return fragstore.New(c.storeConfig(instance))
 }
 
 // Mode selects the system configuration under test.
@@ -98,6 +110,17 @@ type Config struct {
 	// StoreEviction is the sharded backend's policy: "none", "lru", or
 	// "gdsf".
 	StoreEviction string
+	// StoreDiskDir is the tiered backend's heap-file directory: each
+	// proxy gets its own file there ("front.heap", "edge-<name>.heap"),
+	// replayed on restart so a bounced proxy serves warm. Required for
+	// (and only meaningful with) StoreBackend "tiered".
+	StoreDiskDir string
+	// StoreDiskBudget bounds each tiered store's disk-resident bytes
+	// (0 = unbounded); over budget the disk tier drops its LRU victims.
+	StoreDiskBudget int64
+	// StoreDiskPageBytes is the heap file's page size (0 selects the
+	// diskstore default, 32 KiB).
+	StoreDiskPageBytes int
 	// Coalesce collapses concurrent identical in-flight origin fetches at
 	// each proxy into a single origin request (single-flight, keyed by
 	// method, URL, and session identity) whose output is broadcast chunk
@@ -250,6 +273,8 @@ type System struct {
 	proxySrv    *http.Server
 	edges       []*http.Server
 	edgeProxies []*dpc.Proxy
+	frontStore  io.Closer   // tiered stores hold an open heap file
+	edgeStores  []io.Closer // likewise, one per disk-backed edge
 	started     bool
 }
 
@@ -345,6 +370,32 @@ type Edge struct {
 	Proxy *dpc.Proxy
 	// URL is the edge's client-facing address.
 	URL string
+
+	srv   *http.Server
+	store io.Closer // non-nil only for disk-backed stores
+}
+
+// Close shuts this one edge down — server, proxy background work, and
+// (for a tiered store) the heap file, which a later StartEdge of the
+// same name reopens warm. The rest of the system keeps running.
+// Idempotent; System.Close also closes any edges still up.
+func (e Edge) Close() error {
+	var first error
+	if e.srv != nil {
+		e.srv.SetKeepAlivesEnabled(false)
+		if err := e.srv.Close(); err != nil {
+			first = err
+		}
+	}
+	if e.Proxy != nil {
+		_ = e.Proxy.Close()
+	}
+	if e.store != nil {
+		if err := e.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // NewSystem builds (but does not start) a system. Register scripts, then
@@ -357,7 +408,7 @@ func NewSystem(cfg Config, mode Mode) (*System, error) {
 		return nil, fmt.Errorf("core: negative capacity")
 	}
 	// Fail fast on a bad store selection instead of at Start.
-	if err := cfg.storeConfig().Validate(); err != nil {
+	if err := cfg.storeConfig("front").Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Codec == nil {
@@ -441,13 +492,19 @@ func (s *System) Start() error {
 	s.originSrv = &http.Server{Handler: s.Origin}
 	go func() { _ = s.originSrv.Serve(originLn) }()
 
-	store, err := s.cfg.newStore()
+	store, err := s.cfg.newStore("front")
 	if err != nil {
 		_ = originLn.Close()
 		return err
 	}
+	if c, ok := store.(io.Closer); ok {
+		s.frontStore = c
+	}
 	proxy, err := dpc.New(s.cfg.proxyConfig("http://"+originLn.Addr().String(), store, s.Registry, s.Tracer))
 	if err != nil {
+		if s.frontStore != nil {
+			_ = s.frontStore.Close()
+		}
 		_ = originLn.Close()
 		return err
 	}
@@ -494,12 +551,16 @@ func (s *System) StartEdge(name string) (Edge, error) {
 	if !s.started {
 		return Edge{}, fmt.Errorf("core: start the system before adding edges")
 	}
-	store, err := s.cfg.newStore()
+	store, err := s.cfg.newStore("edge-" + name)
 	if err != nil {
 		return Edge{}, err
 	}
+	storeCloser, _ := store.(io.Closer)
 	proxy, err := dpc.New(s.cfg.proxyConfig(s.OriginURL(), store, s.Registry, s.Tracer))
 	if err != nil {
+		if storeCloser != nil {
+			_ = storeCloser.Close()
+		}
 		return Edge{}, err
 	}
 	if s.Hub != nil {
@@ -508,13 +569,19 @@ func (s *System) StartEdge(name string) (Edge, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		_ = proxy.Close()
+		if storeCloser != nil {
+			_ = storeCloser.Close()
+		}
 		return Edge{}, err
 	}
 	srv := &http.Server{Handler: proxy}
 	s.edges = append(s.edges, srv)
 	s.edgeProxies = append(s.edgeProxies, proxy)
+	if storeCloser != nil {
+		s.edgeStores = append(s.edgeStores, storeCloser)
+	}
 	go func() { _ = srv.Serve(ln) }()
-	return Edge{Name: name, Proxy: proxy, URL: "http://" + ln.Addr().String()}, nil
+	return Edge{Name: name, Proxy: proxy, URL: "http://" + ln.Addr().String(), srv: srv, store: storeCloser}, nil
 }
 
 // Close shuts both servers down, stopping each proxy's background work.
@@ -532,6 +599,18 @@ func (s *System) Close() error {
 	for _, p := range append([]*dpc.Proxy{s.Proxy}, s.edgeProxies...) {
 		if p != nil {
 			_ = p.Close()
+		}
+	}
+	// Close the heap files last, after their proxies have stopped; a
+	// clean diskstore close writes back every dirty page so the next
+	// open replays the full resident set. Close is idempotent, so edges
+	// already bounced individually are fine.
+	for _, c := range s.edgeStores {
+		_ = c.Close()
+	}
+	if s.frontStore != nil {
+		if err := s.frontStore.Close(); err != nil && first == nil {
+			first = err
 		}
 	}
 	// Give in-flight handlers a beat to unwind before listeners vanish

@@ -103,6 +103,16 @@ func MetricCatalog() []MetricDoc {
 		{"dpc.store.drops", "gauge", "entries dropped by invalidation since creation"},
 		{"dpc.store.evictions", "gauge", "entries evicted by the budget policy since creation"},
 		{"dpc.store.evicted_bytes", "gauge", "cumulative bytes evicted by the budget policy"},
+		// Disk tier (published only when the tiered backend is mounted;
+		// refreshed alongside the dpc.store.* gauges above).
+		{"dpc.store.disk_hits", "gauge", "GETs answered by the disk tier since creation"},
+		{"dpc.store.disk_promotions", "gauge", "disk hits copied back into the RAM tier since creation"},
+		{"dpc.store.disk_demotions", "gauge", "RAM evictions written through to the disk tier since creation"},
+		{"dpc.store.disk_resident", "gauge", "entries currently resident on the disk tier"},
+		{"dpc.store.disk_bytes", "gauge", "bytes currently charged against the disk tier's budget"},
+		{"dpc.store.disk_byte_budget", "gauge", "the disk tier's configured byte budget (0 = unbounded)"},
+		{"dpc.store.disk_recovered_entries", "gauge", "entries replayed from the heap file at the last open (warm restart)"},
+		{"dpc.store.disk_checksum_discards", "gauge", "torn or checksum-bad pages discarded at the last open"},
 		// Request tracing (internal/trace; populated only when tracing is
 		// enabled).
 		{"dpc.trace.sampled", "counter", "a finished trace was admitted to the capture ring (rate-sampled, slow, or remote-propagated id)"},

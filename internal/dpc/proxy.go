@@ -106,6 +106,12 @@ type Config struct {
 	// PageCacheBudget bounds resident page bytes across the tier (0 =
 	// unbounded); enforced by the keyed store's global ledger.
 	PageCacheBudget int64
+	// PageCacheStore overrides the page cache's keyed backend (the
+	// disk-backed tiered store, or a test double). When non-nil,
+	// PageCacheEntries, PageCacheBudget, and PageClock stop applying —
+	// the caller owns the store's sizing and lifecycle. Ignored unless
+	// PageCache is set.
+	PageCacheStore fragstore.Keyed
 	// PageClock overrides the page cache's expiry clock (tests).
 	PageClock clock.Clock
 	// PlanCache compiles each distinct template body into an immutable
@@ -267,6 +273,7 @@ func New(cfg Config) (*Proxy, error) {
 			MaxEntries: cfg.PageCacheEntries,
 			ByteBudget: cfg.PageCacheBudget,
 			Clock:      cfg.PageClock,
+			Store:      cfg.PageCacheStore,
 		})
 		if err != nil {
 			return nil, err
@@ -366,11 +373,20 @@ func (p *Proxy) publishLoop(interval time.Duration) {
 	for {
 		select {
 		case <-t.C:
-			fragstore.Publish(p.reg, "dpc.store", p.store.Stats())
+			p.publishStore()
 			p.publishDepIndex()
 		case <-p.stopPub:
 			return
 		}
+	}
+}
+
+// publishStore refreshes the dpc.store.* gauges, including the
+// dpc.store.disk_* tier gauges when the fragment store is disk-backed.
+func (p *Proxy) publishStore() {
+	fragstore.Publish(p.reg, "dpc.store", p.store.Stats())
+	if dt, ok := p.store.(fragstore.DiskTiered); ok {
+		fragstore.PublishDisk(p.reg, "dpc.store", dt.TierStats())
 	}
 }
 
@@ -471,7 +487,7 @@ func (p *Proxy) initAdmin() {
 	p.admin.HandleFunc("/_dpc/metrics", getOnly(func(w http.ResponseWriter, _ *http.Request) {
 		// Refresh the pull-model gauges first, as /_dpc/stats does, so a
 		// scrape observes current occupancy rather than the last tick's.
-		fragstore.Publish(p.reg, "dpc.store", p.store.Stats())
+		p.publishStore()
 		p.publishDepIndex()
 		w.Header().Set("Content-Type", metrics.PromContentType)
 		_ = metrics.WritePrometheus(w, p.reg, expositionMetrics())
@@ -496,7 +512,7 @@ func (p *Proxy) initAdmin() {
 	}
 	p.admin.HandleFunc("/_dpc/stats", getOnly(func(w http.ResponseWriter, _ *http.Request) {
 		st := p.store.Stats()
-		fragstore.Publish(p.reg, "dpc.store", st)
+		p.publishStore()
 		p.publishDepIndex() // before the snapshot below, so gauges are current
 		stages := make(map[string]any, len(p.stages))
 		for _, s := range p.stages {
@@ -514,6 +530,9 @@ func (p *Proxy) initAdmin() {
 			"slots_resident": st.Resident,
 			"slots_capacity": st.Capacity,
 			"fragment_bytes": st.Bytes,
+		}
+		if dt, ok := p.store.(fragstore.DiskTiered); ok {
+			out["disk"] = dt.TierStats()
 		}
 		if p.static != nil {
 			ss := p.static.Store().Stats()

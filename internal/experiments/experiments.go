@@ -102,6 +102,14 @@ type Options struct {
 	// StoreEviction is the sharded store's policy: "none", "lru", or
 	// "gdsf".
 	StoreEviction string
+	// StoreDiskDir is the tiered backend's heap-file directory
+	// (SystemConfig.StoreDiskDir); required when StoreBackend is
+	// "tiered". The memory experiment's disk rows point this at a
+	// temporary directory per point.
+	StoreDiskDir string
+	// StoreDiskBudget bounds the tiered backend's disk-resident bytes
+	// (0 = unbounded).
+	StoreDiskBudget int64
 	// PageCache mounts the whole-page cache stage at the measured
 	// proxy (SystemConfig.PageCache) in the live runners.
 	PageCache bool

@@ -256,9 +256,10 @@ func TestMemoryLive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 1 unbounded reference + 4 budgets × 2 policies.
-	if len(tab.Rows) != 9 {
-		t.Fatalf("rows = %d, want 9", len(tab.Rows))
+	// 1 unbounded reference + 4 budgets × 2 policies + 4 lru+disk budgets
+	// + 3 restart phases.
+	if len(tab.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(tab.Rows))
 	}
 	// The unbounded reference must not evict and must hit nearly always
 	// once warm.
@@ -283,6 +284,33 @@ func TestMemoryLive(t *testing.T) {
 		if ev := cell(t, tab, rows[len(rows)-1], 4); ev == 0 {
 			t.Fatalf("tightest budget row %d evicted nothing", rows[len(rows)-1])
 		}
+	}
+	// The disk-backed tier demotes instead of dropping, so its hit ratio
+	// must hold near the unbounded reference at every RAM budget — the
+	// whole point of the second tier.
+	ref := cell(t, tab, 0, 3)
+	for i := 9; i <= 12; i++ {
+		if tab.Rows[i][0] != "lru+disk" {
+			t.Fatalf("row %d policy = %q, want lru+disk", i, tab.Rows[i][0])
+		}
+		if h := cell(t, tab, i, 3); h < ref-0.1 {
+			t.Fatalf("lru+disk row %d hit ratio %v fell below unbounded reference %v", i, h, ref)
+		}
+	}
+	// A warm restart replays the heap file and must reach at least 80% of
+	// the steady-state hit ratio on the very first pass; a cold edge's
+	// first pass starts from nothing.
+	steady := cell(t, tab, 13, 3)
+	warm := cell(t, tab, 14, 3)
+	cold := cell(t, tab, 15, 3)
+	if steady < 0.5 {
+		t.Fatalf("restart:steady hit ratio = %v, implausibly low", steady)
+	}
+	if warm < 0.8*steady {
+		t.Fatalf("restart:warm hit ratio %v < 80%% of steady %v", warm, steady)
+	}
+	if cold > warm/2 {
+		t.Fatalf("restart:cold hit ratio %v not clearly below warm %v", cold, warm)
 	}
 }
 

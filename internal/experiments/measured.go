@@ -55,6 +55,8 @@ func runPoint(mode core.Mode, siteCfg site.SyntheticConfig, forcedMiss float64,
 		StoreBackend:     opts.StoreBackend,
 		StoreByteBudget:  opts.StoreByteBudget,
 		StoreEviction:    opts.StoreEviction,
+		StoreDiskDir:     opts.StoreDiskDir,
+		StoreDiskBudget:  opts.StoreDiskBudget,
 		PageCache:        opts.PageCache,
 	}, mode)
 	if err != nil {

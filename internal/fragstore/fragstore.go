@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"strings"
 
+	"dpcache/internal/diskstore"
 	"dpcache/internal/metrics"
 )
 
@@ -124,6 +125,9 @@ const (
 	BackendSlot = "slot"
 	// BackendSharded is the sharded, byte-budgeted store.
 	BackendSharded = "sharded"
+	// BackendTiered is the two-tier store: a keyed RAM tier demoting
+	// evictions into a disk-backed heap file that replays on restart.
+	BackendTiered = "tiered"
 )
 
 // Config selects and parameterizes a backend from plain values, the shape
@@ -146,11 +150,24 @@ type Config struct {
 	// Eviction is "none" (default), "lru", or "gdsf". The slot backend
 	// rejects any other value.
 	Eviction string
+	// DiskPath is the tiered backend's heap-file path, created on first
+	// open and replayed on restart. Required for (and only valid with)
+	// the tiered backend.
+	DiskPath string
+	// DiskBudget bounds the tiered backend's disk-resident bytes (0 =
+	// unbounded); over-budget writes drop the disk tier's LRU victims.
+	DiskBudget int64
+	// DiskPageBytes is the heap file's page size (0 = diskstore
+	// default). Changing it across restarts invalidates the file.
+	DiskPageBytes int
 }
 
 // Validate reports whether the configuration selects a buildable backend,
 // without allocating one (NewSystem-style fail-fast checks).
 func (c Config) Validate() error {
+	if c.Backend != BackendTiered && (c.DiskPath != "" || c.DiskBudget != 0 || c.DiskPageBytes != 0) {
+		return fmt.Errorf("fragstore: disk options require the %q backend (got backend=%q)", BackendTiered, c.Backend)
+	}
 	switch c.Backend {
 	case "", BackendSlot:
 		if c.Capacity <= 0 {
@@ -172,8 +189,20 @@ func (c Config) Validate() error {
 			ByteBudget: c.ByteBudget,
 			Policy:     pol,
 		}.validate()
+	case BackendTiered:
+		if c.Capacity <= 0 {
+			return fmt.Errorf("fragstore: store capacity must be positive, got %d", c.Capacity)
+		}
+		if _, err := ParsePolicy(c.Eviction); err != nil {
+			return err
+		}
+		return diskstore.Config{
+			Path:       c.DiskPath,
+			ByteBudget: c.DiskBudget,
+			PageBytes:  c.DiskPageBytes,
+		}.Validate()
 	default:
-		return fmt.Errorf("fragstore: unknown backend %q (want %q or %q)", c.Backend, BackendSlot, BackendSharded)
+		return fmt.Errorf("fragstore: unknown backend %q (want %q, %q, or %q)", c.Backend, BackendSlot, BackendSharded, BackendTiered)
 	}
 }
 
@@ -182,7 +211,8 @@ func New(cfg Config) (FragmentStore, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Backend == BackendSharded {
+	switch cfg.Backend {
+	case BackendSharded:
 		pol, _ := ParsePolicy(cfg.Eviction) // validated above
 		return NewSharded(ShardedConfig{
 			Capacity:   cfg.Capacity,
@@ -190,6 +220,24 @@ func New(cfg Config) (FragmentStore, error) {
 			ByteBudget: cfg.ByteBudget,
 			Policy:     pol,
 		})
+	case BackendTiered:
+		pol, _ := ParsePolicy(cfg.Eviction) // validated above
+		t, err := NewTieredKeyed(TieredConfig{
+			RAM: KeyedConfig{
+				Shards:     cfg.Shards,
+				ByteBudget: cfg.ByteBudget,
+				Policy:     pol,
+			},
+			Disk: diskstore.Config{
+				Path:       cfg.DiskPath,
+				ByteBudget: cfg.DiskBudget,
+				PageBytes:  cfg.DiskPageBytes,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return t.AsFragmentStore(cfg.Capacity)
 	}
 	return NewSlotStore(cfg.Capacity)
 }

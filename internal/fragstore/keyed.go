@@ -68,6 +68,14 @@ type KeyedConfig struct {
 	Policy Policy
 	// Clock drives TTL expiry; nil selects the real clock.
 	Clock clock.Clock
+	// OnEvict, when set, receives each entry the eviction policy removes
+	// under budget or entry-bound pressure — never entries removed by
+	// Delete, DeleteFunc, Flush, TTL expiry, or an oversized-put refusal.
+	// It is invoked after the victim's shard lock is released, so it may
+	// block or re-enter the store; the tiered backend demotes victims to
+	// its disk tier here. The deadline is the victim's absolute expiry
+	// (zero = none).
+	OnEvict func(key string, e KeyedEntry, deadline time.Time)
 }
 
 // KeyedEntry is one stored value with its caller-owned annotations.
@@ -366,10 +374,14 @@ func (s *KeyedStore) evictGlobal() {
 			return // store is empty; nothing left to give back
 		}
 		victim.mu.Lock()
+		var ev *kentry
 		if len(victim.entries) > 0 {
-			victim.evictOne()
+			ev = victim.evictOne()
 		}
 		victim.mu.Unlock()
+		if ev != nil && s.cfg.OnEvict != nil {
+			s.cfg.OnEvict(ev.key, ev.val, ev.deadline)
+		}
 	}
 }
 
@@ -428,6 +440,33 @@ func (s *KeyedStore) ReserveScratch(n int64) {
 	s.led.reserve(n)
 	if n > 0 && s.overLimits() {
 		s.evictGlobal()
+	}
+}
+
+// Range calls fn for every resident entry (expired ones included) until
+// fn returns false. Each shard's contents are snapshotted under its lock
+// and fn runs unlocked, so fn may call back into the store; entries
+// added or removed while Range runs may or may not be seen. The tiered
+// store's clean shutdown drains the RAM tier to disk through this.
+func (s *KeyedStore) Range(fn func(key string, e KeyedEntry, deadline time.Time) bool) {
+	type snap struct {
+		key      string
+		val      KeyedEntry
+		deadline time.Time
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		entries := make([]snap, 0, len(sh.entries))
+		for _, e := range sh.entries {
+			entries = append(entries, snap{e.key, e.val, e.deadline})
+		}
+		sh.mu.Unlock()
+		for _, e := range entries {
+			if !fn(e.key, e.val, e.deadline) {
+				return
+			}
+		}
 	}
 }
 
@@ -564,7 +603,9 @@ func (sh *kshard) remove(e *kentry) {
 	delete(sh.entries, e.key)
 }
 
-func (sh *kshard) evictOne() {
+// evictOne removes this shard's policy victim and returns it so the
+// caller can hand it to KeyedConfig.OnEvict once the lock is released.
+func (sh *kshard) evictOne() *kentry {
 	var victim *kentry
 	switch sh.policy {
 	case PolicyLRU:
@@ -573,12 +614,13 @@ func (sh *kshard) evictOne() {
 		victim = sh.heap[0]
 		sh.raiseInflation(victim.prio) // GDSF aging term L
 	default:
-		return
+		return nil
 	}
 	size := victim.val.size()
 	sh.remove(victim)
 	sh.evictions++
 	sh.evictedBytes += size
+	return victim
 }
 
 func kGdsfValue(e *kentry) float64 {

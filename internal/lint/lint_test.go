@@ -147,6 +147,10 @@ func fixtureLockScope() *Analyzer {
 			"(*sync.WaitGroup).Wait": "goroutine wait",
 			"io.ReadAll":             "unbounded read",
 			"io.Copy":                "unbounded copy",
+			"(*os.File).ReadAt":      "disk read under latch",
+			"(*os.File).WriteAt":     "disk write under latch",
+			"(*os.File).Sync":        "disk flush under latch",
+			"(*os.File).Truncate":    "disk truncate under latch",
 		},
 		FlagFuncValueCalls: true,
 	})

@@ -8,10 +8,11 @@ import (
 
 // Import paths the analyzers scope to.
 const (
-	pkgDPC      = "dpcache/internal/dpc"
-	pkgFragment = "dpcache/internal/fragstore"
-	pkgDepindex = "dpcache/internal/depindex"
-	pkgTmplplan = "dpcache/internal/tmplplan"
+	pkgDPC       = "dpcache/internal/dpc"
+	pkgFragment  = "dpcache/internal/fragstore"
+	pkgDepindex  = "dpcache/internal/depindex"
+	pkgTmplplan  = "dpcache/internal/tmplplan"
+	pkgDiskstore = "dpcache/internal/diskstore"
 )
 
 // requestPathPkgs are the packages a live request flows through (or
@@ -85,10 +86,17 @@ func ProjectAnalyzers() []*Analyzer {
 			"(*sync.WaitGroup).Wait": "goroutine wait",
 			"io.ReadAll":             "unbounded read",
 			"io.Copy":                "unbounded copy",
+			// The buffer pool's contract: every disk syscall happens
+			// outside the store latch (loads via pin's loading channel,
+			// write-backs on a snapshot taken under the latch).
+			"(*os.File).ReadAt":   "disk read under latch",
+			"(*os.File).WriteAt":  "disk write under latch",
+			"(*os.File).Sync":     "disk flush under latch",
+			"(*os.File).Truncate": "disk truncate under latch",
 		},
 		FlagFuncValueCalls: true,
 	})
-	lockscope.Applies = pkgPathPrefixes(pkgFragment, pkgDepindex, pkgTmplplan,
+	lockscope.Applies = pkgPathPrefixes(pkgFragment, pkgDepindex, pkgTmplplan, pkgDiskstore,
 		"dpcache/internal/repository")
 
 	ctxflow := CtxFlowAnalyzer(CtxFlowConfig{

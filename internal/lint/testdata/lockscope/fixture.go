@@ -1,11 +1,12 @@
 // Golden corpus for the lockscope analyzer. The test configures the
 // deny list with the project's entries (net/http round trips,
-// time.Sleep, WaitGroup.Wait, io.ReadAll/Copy) and
-// FlagFuncValueCalls.
+// time.Sleep, WaitGroup.Wait, io.ReadAll/Copy, os.File positioned I/O
+// under the buffer-pool latch) and FlagFuncValueCalls.
 package fixture
 
 import (
 	"net/http"
+	"os"
 	"sync"
 	"time"
 )
@@ -91,3 +92,31 @@ func (s *shard) okMethodCall() {
 }
 
 func (s *shard) touch() {}
+
+// The diskstore buffer-pool invariant: no blocking file syscalls while
+// the store latch is held.
+func (s *shard) deniedDiskReadUnderLatch(f *os.File, buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f.ReadAt(buf, 0) // want "disk read under latch"
+}
+
+func (s *shard) deniedWriteBackUnderLatch(f *os.File, page []byte) {
+	s.mu.Lock()
+	f.WriteAt(page, 0) // want "disk write under latch"
+	f.Sync()           // want "disk flush under latch"
+	s.mu.Unlock()
+}
+
+func (s *shard) deniedTruncateUnderReadLock(f *os.File) {
+	s.rw.RLock()
+	f.Truncate(0) // want "disk truncate under latch"
+	s.rw.RUnlock()
+}
+
+func (s *shard) okSnapshotThenWrite(f *os.File) {
+	s.mu.Lock()
+	page := append([]byte(nil), s.m["page"]...)
+	s.mu.Unlock()
+	f.WriteAt(page, 0) // latch released before the syscall: ok
+}

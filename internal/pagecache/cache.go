@@ -20,20 +20,30 @@ type CacheConfig struct {
 	Eviction string
 	// Clock drives TTL expiry (tests); nil = real clock.
 	Clock clock.Clock
+	// Store, when non-nil, is a prebuilt keyed backend the cache wraps
+	// instead of allocating its own (the tiered disk-backed store, or a
+	// test double). All other fields are ignored — the caller owns the
+	// store's sizing, eviction, and lifecycle.
+	Store fragstore.Keyed
 }
 
-// Cache is a URL-keyed whole-page store: a thin typed wrapper over
-// fragstore.KeyedStore holding complete response bodies plus their
+// Cache is a URL-keyed whole-page store: a thin typed wrapper over a
+// fragstore.Keyed backend holding complete response bodies plus their
 // content type. It carries no locking, LRU, or accounting of its own —
 // eviction (entry bound, global byte budget) and TTL expiry are owned by
-// the keyed store. Both consumers share it: the baseline Proxy in this
-// package and the DPC's pagecache pipeline stage.
+// the keyed backend, which is an in-RAM KeyedStore by default or the
+// disk-backed TieredKeyed when the caller supplies one. Both consumers
+// share it: the baseline Proxy in this package and the DPC's pagecache
+// pipeline stage.
 type Cache struct {
-	store *fragstore.KeyedStore
+	store fragstore.Keyed
 }
 
 // NewCache returns a whole-page cache.
 func NewCache(cfg CacheConfig) (*Cache, error) {
+	if cfg.Store != nil {
+		return &Cache{store: cfg.Store}, nil
+	}
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = 1024
 	}
@@ -168,4 +178,4 @@ func (c *Cache) Stats() fragstore.KeyedStats { return c.store.Stats() }
 
 // Store exposes the backing keyed store (conformance tests run the
 // fragment-store suite against it through AsFragmentStore).
-func (c *Cache) Store() *fragstore.KeyedStore { return c.store }
+func (c *Cache) Store() fragstore.Keyed { return c.store }
